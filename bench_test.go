@@ -1,0 +1,240 @@
+package repro_test
+
+// The benchmark harness: one testing.B benchmark per experiment in the
+// reproduction index (DESIGN.md §3) — each iteration regenerates the
+// experiment's table on reduced sweeps — plus micro-benchmarks of the
+// engine's hot paths (priority sampling, runner throughput, exact OPT,
+// LP bound, gadget construction). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks are the programmatic hook for regenerating
+// every "table/figure" of the paper; cmd/ospbench prints the same tables
+// at full parameter sweeps.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gadget"
+	"repro/internal/gf"
+	"repro/internal/hashpr"
+	"repro/internal/lowerbound"
+	"repro/internal/offline"
+	"repro/internal/router"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one experiment in quick mode per iteration.
+func benchExperiment(b *testing.B, id string, trials int) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 1, Quick: true, Trials: trials}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX1Lemma1(b *testing.B)        { benchExperiment(b, "X1", 2000) }
+func BenchmarkX2Theorem1(b *testing.B)      { benchExperiment(b, "X2", 5) }
+func BenchmarkX3Theorem5(b *testing.B)      { benchExperiment(b, "X3", 5) }
+func BenchmarkX4Corollary7(b *testing.B)    { benchExperiment(b, "X4", 5) }
+func BenchmarkX5Theorem6(b *testing.B)      { benchExperiment(b, "X5", 5) }
+func BenchmarkX6Theorem4(b *testing.B)      { benchExperiment(b, "X6", 3) }
+func BenchmarkX7Deterministic(b *testing.B) { benchExperiment(b, "X7", 0) }
+func BenchmarkX8RandomizedLB(b *testing.B)  { benchExperiment(b, "X8", 2) }
+func BenchmarkX9Video(b *testing.B)         { benchExperiment(b, "X9", 3) }
+func BenchmarkX10Multihop(b *testing.B)     { benchExperiment(b, "X10", 3) }
+func BenchmarkX11Distributed(b *testing.B)  { benchExperiment(b, "X11", 500) }
+func BenchmarkX12Partial(b *testing.B)      { benchExperiment(b, "X12", 2) }
+func BenchmarkX13Buffered(b *testing.B)     { benchExperiment(b, "X13", 3) }
+func BenchmarkX14Ablation(b *testing.B)     { benchExperiment(b, "X14", 30) }
+func BenchmarkX15GenPack(b *testing.B)      { benchExperiment(b, "X15", 2) }
+func BenchmarkX16Grid(b *testing.B)         { benchExperiment(b, "X16", 3) }
+
+// --- engine micro-benchmarks ---
+
+// BenchmarkRandPrRun measures full online runs of randPr on a mid-size
+// random instance (the engine's end-to-end hot path).
+func BenchmarkRandPrRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 200, N: 1000, Load: 8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := &core.RandPr{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(inst, alg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashRandPrRun measures the distributed variant on the same
+// instance shape (hash evaluation replaces RNG sampling).
+func BenchmarkHashRandPrRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 200, N: 1000, Load: 8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg := &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(i)}}
+		if _, err := core.Run(inst, alg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyRun measures the deterministic baseline throughput.
+func BenchmarkGreedyRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 200, N: 1000, Load: 8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := &core.GreedyMaxWeight{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(inst, alg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpectedBenefit measures the Lemma 1 closed-form evaluation
+// (neighborhood weight computation).
+func BenchmarkExpectedBenefit(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 300, N: 1500, Load: 6}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RandPrExpectedBenefit(inst)
+	}
+}
+
+// BenchmarkExactOPT measures branch-and-bound on an m=20 instance.
+func BenchmarkExactOPT(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 20, N: 40, Load: 4}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.Exact(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPBound measures the simplex relaxation on an m=60 instance.
+func BenchmarkLPBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 60, N: 120, Load: 4}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.LPBound(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGF measures field multiplication in GF(81).
+func BenchmarkGF(b *testing.B) {
+	f, err := gf.NewField(81)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	acc := 1
+	for i := 0; i < b.N; i++ {
+		acc = f.Mul(acc, 1+i%80)
+		if acc == 0 {
+			acc = 1
+		}
+	}
+}
+
+// BenchmarkGadgetApply measures a full (8,64)-gadget line enumeration.
+func BenchmarkGadgetApply(b *testing.B) {
+	g, err := gadget.New(8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		g.VisitLines(true, func(line []gadget.Item) { count += len(line) })
+	}
+}
+
+// BenchmarkLemma9Build measures one draw of the ℓ=5 lower-bound
+// distribution (Figure 1 construction end to end).
+func BenchmarkLemma9Build(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := lowerbound.NewLemma9(5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDuel measures a full Theorem 3 duel (σ=4, k=3: 64 sets).
+func BenchmarkDuel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := lowerbound.RunDuel(4, 3, &core.GreedyFirstListed{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVideoSimulate measures the bottleneck-router simulation
+// (trace synthesis + policy run + goodput accounting).
+func BenchmarkVideoSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vi, err := workload.Video(workload.VideoConfig{Streams: 16, FramesPerStream: 32, Jitter: 3}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := &core.RandPr{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := router.Simulate(vi, alg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultihopSimulate measures the distributed switch-line
+// simulation with drop propagation.
+func BenchmarkMultihopSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	mi, err := workload.Multihop(workload.MultihopConfig{Hops: 12, Packets: 500, Horizon: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := router.SimulateMultihop(mi, hashpr.Mixer{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"X1", "X7", "X15"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "X7", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 3") {
+		t.Errorf("X7 output missing title:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "NO") {
+		t.Errorf("X7 has failed verdicts:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "X99"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestNoAction(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no flags should error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}

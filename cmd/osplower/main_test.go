@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDuelMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "duel", "-sigma", "3", "-k", "2", "-alg", "greedyMaxWeight"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "certified OPT ≥ 3") {
+		t.Errorf("duel output missing certificate:\n%s", out)
+	}
+	if !strings.Contains(out, "completed 1 set(s)") {
+		t.Errorf("duel output missing ALG result:\n%s", out)
+	}
+}
+
+func TestDuelUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "duel", "-alg", "nope"}, &buf); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestLemma9Mode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "lemma9", "-l", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "planted OPT: 8") {
+		t.Errorf("lemma9 output missing planted OPT:\n%s", out)
+	}
+}
+
+func TestLemma9BadEll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "lemma9", "-l", "6"}, &buf); err == nil {
+		t.Error("ℓ=6 (not a prime power) should error")
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "nope"}, &buf); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if pow(3, 4) != 81 || pow(2, 0) != 1 {
+		t.Error("pow wrong")
+	}
+}
+
+func TestMaxF(t *testing.T) {
+	if maxF(1, 2) != 2 || maxF(3, 2) != 3 {
+		t.Error("maxF wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickReportToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-trials", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"OSP reproduction report", "=== X1", "=== X16", "report generated in"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("report contains failed verdicts:\n%s", out)
+	}
+}
+
+func TestReportToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-trials", "2", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "=== X7") {
+		t.Error("file report missing experiment sections")
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Error("stdout missing confirmation")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,121 @@
+// Command ospsim runs the systems simulators: video streams through a
+// bottleneck router, or multi-hop packets across a switch line with
+// coordination-free hash priorities.
+//
+// Usage:
+//
+//	ospsim -scenario video -streams 8 -frames 16 -cap 1
+//	ospsim -scenario multihop -hops 8 -packets 200 -horizon 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/hashpr"
+	"repro/internal/offline"
+	"repro/internal/router"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ospsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ospsim", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "video", `"video" or "multihop"`)
+		streams  = fs.Int("streams", 8, "video: concurrent streams")
+		frames   = fs.Int("frames", 16, "video: frames per stream")
+		linkCap  = fs.Int("cap", 1, "video: link capacity (packets/slot)")
+		jitter   = fs.Int("jitter", 3, "video: max start jitter (slots)")
+		bursty   = fs.Bool("bursty", false, "video: Markov on/off sources instead of jittered starts")
+		hops     = fs.Int("hops", 8, "multihop: switches on the line")
+		packets  = fs.Int("packets", 200, "multihop: packets injected")
+		horizon  = fs.Int("horizon", 20, "multihop: injection window (slots)")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *scenario {
+	case "video":
+		return videoSim(w, *streams, *frames, *linkCap, *jitter, *bursty, *seed)
+	case "multihop":
+		return multihopSim(w, *hops, *packets, *horizon, *seed)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+}
+
+func videoSim(w io.Writer, streams, frames, linkCap, jitter int, bursty bool, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	var vi *workload.VideoInstance
+	var err error
+	if bursty {
+		vi, err = workload.Bursty(workload.BurstyConfig{
+			Streams: streams, Frames: frames, LinkCapacity: linkCap,
+		}, rng)
+	} else {
+		vi, err = workload.Video(workload.VideoConfig{
+			Streams: streams, FramesPerStream: frames,
+			LinkCapacity: linkCap, Jitter: jitter,
+		}, rng)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "video: %d frames (%d packets) over %d busy slots, link capacity %d\n\n",
+		vi.Inst.NumSets(), vi.TotalPackets, vi.Slots, linkCap)
+
+	bound, exact, err := offline.BestUpperBound(vi.Inst, offline.Options{MaxNodes: 2_000_000})
+	if err != nil {
+		return err
+	}
+	kind := "LP bound"
+	if exact {
+		kind = "exact"
+	}
+	fmt.Fprintf(w, "offline OPT (%s): %.1f frame value\n\n", kind, bound)
+
+	for _, p := range router.Policies() {
+		rep, err := router.Simulate(vi, p, rand.New(rand.NewSource(seed+7)))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-22s %s\n", p.Name(), rep)
+		for _, class := range []string{"I", "P", "B"} {
+			if cr, ok := rep.ByClass[class]; ok {
+				fmt.Fprintf(w, "    %s-frames %d/%d\n", class, cr.Delivered, cr.Offered)
+			}
+		}
+	}
+	return nil
+}
+
+func multihopSim(w io.Writer, hops, packets, horizon int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	mi, err := workload.Multihop(workload.MultihopConfig{
+		Hops: hops, Packets: packets, Horizon: horizon,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "multihop: %d packets over %d switches, %d (time,hop) cells\n\n",
+		packets, hops, mi.Inst.NumElements())
+	network, abstract, err := router.SimulateMultihop(mi, hashpr.Mixer{Seed: uint64(seed)})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "distributed network (drops propagate): %s\n", network)
+	fmt.Fprintf(w, "abstract OSP run (analysis bound):     %s\n", abstract)
+	return nil
+}

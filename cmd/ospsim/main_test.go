@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVideoScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "video", "-streams", "3", "-frames", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"video:", "offline OPT", "randPr", "taildrop"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("video output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMultihopScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "multihop", "-hops", "4", "-packets", "20", "-horizon", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "distributed network") || !strings.Contains(out, "abstract OSP run") {
+		t.Errorf("multihop output incomplete:\n%s", out)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "video", "-streams", "0"}, &buf); err == nil {
+		t.Error("zero streams should error")
+	}
+	if err := run([]string{"-scenario", "multihop", "-hops", "1"}, &buf); err == nil {
+		t.Error("one hop should error")
+	}
+}

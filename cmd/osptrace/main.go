@@ -1,0 +1,203 @@
+// Command osptrace generates, inspects and replays OSP instance files in
+// the repository's text trace format, decoupling workload generation from
+// algorithm runs (e.g. to share a trace between experiments or machines).
+//
+// Usage:
+//
+//	osptrace -gen video -streams 8 -out trace.osp
+//	osptrace -info trace.osp
+//	osptrace -run trace.osp -alg randPr -trials 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hashpr"
+	"repro/internal/offline"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "osptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("osptrace", flag.ContinueOnError)
+	var (
+		gen     = fs.String("gen", "", `generate a trace: "video", "multihop", "random"`)
+		out     = fs.String("out", "", "output file for -gen (default stdout)")
+		info    = fs.String("info", "", "print statistics of a trace file")
+		runPath = fs.String("run", "", "replay algorithms over a trace file")
+		algName = fs.String("alg", "randPr", "algorithm for -run (randPr, hashRandPr, greedyMaxWeight, greedyFewestRemaining, greedyFirstListed, taildrop... see -run output)")
+		trials  = fs.Int("trials", 100, "Monte-Carlo trials for randomized algorithms")
+		seed    = fs.Int64("seed", 1, "random seed")
+		streams = fs.Int("streams", 8, "video: streams")
+		frames  = fs.Int("frames", 16, "video: frames per stream")
+		m       = fs.Int("m", 20, "random: sets")
+		n       = fs.Int("n", 60, "random: elements")
+		load    = fs.Int("load", 4, "random: element load")
+		hops    = fs.Int("hops", 8, "multihop: switches")
+		packets = fs.Int("packets", 120, "multihop: packets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *gen != "":
+		return generate(*gen, *out, w, genParams{
+			seed: *seed, streams: *streams, frames: *frames,
+			m: *m, n: *n, load: *load, hops: *hops, packets: *packets,
+		})
+	case *info != "":
+		return printInfo(*info, w)
+	case *runPath != "":
+		return replay(*runPath, *algName, *trials, *seed, w)
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -gen, -info or -run")
+	}
+}
+
+type genParams struct {
+	seed                                       int64
+	streams, frames, m, n, load, hops, packets int
+}
+
+func generate(kind, out string, w io.Writer, p genParams) error {
+	rng := rand.New(rand.NewSource(p.seed))
+	var inst *setsystem.Instance
+	var err error
+	switch kind {
+	case "video":
+		var vi *workload.VideoInstance
+		vi, err = workload.Video(workload.VideoConfig{
+			Streams: p.streams, FramesPerStream: p.frames, Jitter: 3,
+		}, rng)
+		if err == nil {
+			inst = vi.Inst
+		}
+	case "multihop":
+		var mi *workload.MultihopInstance
+		mi, err = workload.Multihop(workload.MultihopConfig{
+			Hops: p.hops, Packets: p.packets, Horizon: 20,
+		}, rng)
+		if err == nil {
+			inst = mi.Inst
+		}
+	case "random":
+		inst, err = workload.Uniform(workload.UniformConfig{
+			M: p.m, N: p.n, Load: p.load, MinLoad: 1,
+			WeightFn: workload.ZipfWeights(1, 4),
+		}, rng)
+	default:
+		return fmt.Errorf("unknown generator %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	dst := w
+	if out != "" {
+		f, ferr := os.Create(out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := setsystem.Encode(dst, inst); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Fprintf(w, "wrote %s: %v\n", out, inst)
+	}
+	return nil
+}
+
+func printInfo(path string, w io.Writer) error {
+	inst, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	st := setsystem.Compute(inst)
+	fmt.Fprintf(w, "%v\n", inst)
+	fmt.Fprintf(w, "  mean set size %.2f, mean load %.2f, mean weighted load %.2f\n",
+		st.KMean, st.SigmaMean, st.SigmaWMean)
+	fmt.Fprintf(w, "  total weight %.2f; unit capacity: %v; unweighted: %v\n",
+		st.TotalWeight, inst.IsUnitCapacity(), inst.IsUnweighted())
+	fmt.Fprintf(w, "  Theorem 1 bound %.2f; Corollary 6 bound %.2f\n",
+		setsystem.Theorem1Bound(st), setsystem.Corollary6Bound(st))
+	if inst.IsUnitCapacity() {
+		fmt.Fprintf(w, "  exact E[w(randPr)] (Lemma 1): %.4f\n", core.RandPrExpectedBenefit(inst))
+	}
+	return nil
+}
+
+func replay(path, algName string, trials int, seed int64, w io.Writer) error {
+	inst, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	alg, err := algorithmByName(algName, seed)
+	if err != nil {
+		return err
+	}
+	mean, stderr, err := core.MeanBenefit(inst, alg, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s on %v\n", alg.Name(), inst)
+	fmt.Fprintf(w, "  E[w(ALG)] = %.4f ± %.4f (%d trials)\n", mean, stderr, trials)
+	if bound, exact, err := offline.BestUpperBound(inst, offline.Options{MaxNodes: 2_000_000}); err == nil {
+		kind := "LP bound"
+		if exact {
+			kind = "exact"
+		}
+		fmt.Fprintf(w, "  OPT (%s) = %.4f → measured ratio %.3f\n", kind, bound, bound/mean)
+	}
+	return nil
+}
+
+func loadTrace(path string) (*setsystem.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return setsystem.Decode(f)
+}
+
+// algorithmByName resolves the -alg flag.
+func algorithmByName(name string, seed int64) (core.Algorithm, error) {
+	switch name {
+	case "randPr":
+		return &core.RandPr{}, nil
+	case "randPrActive":
+		return &core.RandPr{ActiveOnly: true}, nil
+	case "hashRandPr":
+		return &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(seed)}}, nil
+	case "redrawRandPr":
+		return &core.RedrawRandPr{}, nil
+	case "detWeightPriority":
+		return &core.DetWeightPriority{}, nil
+	case "uniformRandom":
+		return &core.UniformRandom{}, nil
+	case "greedyMaxWeight":
+		return &core.GreedyMaxWeight{}, nil
+	case "greedyFewestRemaining":
+		return &core.GreedyFewestRemaining{}, nil
+	case "greedyFirstListed":
+		return &core.GreedyFirstListed{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateInfoRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.osp")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "random", "-m", "8", "-n", "16", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-info", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "m=8 sets") {
+		t.Errorf("info output wrong:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-run", path, "-alg", "randPr", "-trials", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E[w(ALG)]") {
+		t.Errorf("run output wrong:\n%s", buf.String())
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "video", "-streams", "2", "-frames", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "osp 1\n") {
+		t.Errorf("stdout trace missing header:\n%.80s", buf.String())
+	}
+}
+
+func TestGenerateMultihop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "multihop", "-hops", "4", "-packets", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "elem ") {
+		t.Error("multihop trace has no elements")
+	}
+}
+
+func TestUnknownGenerator(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "nope"}, &buf); err == nil {
+		t.Error("unknown generator should error")
+	}
+}
+
+func TestAllAlgorithmsResolvable(t *testing.T) {
+	names := []string{
+		"randPr", "randPrActive", "hashRandPr", "redrawRandPr",
+		"detWeightPriority", "uniformRandom",
+		"greedyMaxWeight", "greedyFewestRemaining", "greedyFirstListed",
+	}
+	for _, n := range names {
+		alg, err := algorithmByName(n, 1)
+		if err != nil || alg == nil {
+			t.Errorf("algorithmByName(%q): %v", n, err)
+		}
+	}
+	if _, err := algorithmByName("nope", 1); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "/nonexistent/file.osp"}, &buf); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"-info", "/nonexistent/file.osp"}, &buf); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestNoAction(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no flags should error")
+	}
+}

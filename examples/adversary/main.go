@@ -1,0 +1,52 @@
+// Adversary: play the Theorem 3 game. The adaptive adversary builds the
+// instance online against each deterministic policy, forcing it down to a
+// single completed set while certifying σ^(k−1) disjoint completable sets
+// — then randPr replays the very same materialized instance and recovers
+// most of the optimum, showing what randomization buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/osp"
+)
+
+func main() {
+	const sigma, k = 3, 3
+	fmt.Printf("Theorem 3 adversary: σ=%d, k=%d → m = σ^k = %d unweighted sets of size %d\n\n",
+		sigma, k, 27, k)
+
+	for _, alg := range core.Baselines() {
+		res, inst, certOPT, err := lowerbound.RunDuel(sigma, k, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("vs %-22s ALG completed %d set(s); certified OPT ≥ %d → ratio ≥ %d\n",
+			alg.Name(), len(res.Completed), certOPT, certOPT)
+
+		// Replay the materialized instance (now a fixed, oblivious input)
+		// with randPr.
+		var acc float64
+		const trials = 300
+		for t := 0; t < trials; t++ {
+			r, err := osp.Run(inst, osp.NewRandPr(), rand.New(rand.NewSource(int64(t))))
+			if err != nil {
+				log.Fatal(err)
+			}
+			acc += r.Benefit
+		}
+		fmt.Printf("   randPr on the same instance: E[ALG] = %.2f (ratio %.1f)\n",
+			acc/trials, float64(certOPT)/(acc/trials))
+	}
+
+	fmt.Println("\nThe adversary wins against any fixed deterministic rule because it")
+	fmt.Println("can watch the rule's choices; randPr's priorities are unknown to the")
+	fmt.Println("instance, so on every *fixed* input it keeps its kmax·sqrt(σmax)")
+	fmt.Println("guarantee (Corollary 6). Against an adaptive adversary no online")
+	fmt.Println("algorithm — randomized or not — survives; competitive analysis of")
+	fmt.Println("randomized algorithms is against oblivious adversaries.")
+}

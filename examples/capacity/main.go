@@ -1,0 +1,48 @@
+// Capacity: the variable-capacity generalization (Theorem 4). A server
+// that can serve b packets per slot changes the relevant congestion
+// measure from the load σ(u) to the adjusted load ν(u) = σ(u)/b(u).
+// The example sweeps the link capacity on a fixed offered load and shows
+// the measured competitive ratio tracking the adjusted-load bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/osp"
+)
+
+func main() {
+	const trials = 500
+	fmt.Println("offered load σ = 12 per slot; sweeping link capacity b")
+	fmt.Println()
+	fmt.Printf("%3s  %8s  %12s  %14s  %12s\n", "b", "mean ν", "E[w(ALG)]", "OPT (exact)", "OPT/E[ALG]")
+
+	for _, capacity := range []int{1, 2, 3, 4, 6} {
+		rng := rand.New(rand.NewSource(int64(100 + capacity)))
+		inst, err := osp.RandomInstance(osp.UniformConfig{
+			M: 16, N: 32, Load: 12, Capacity: capacity,
+			WeightFn: osp.ZipfWeights(1, 4),
+		}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, _, err := osp.MeanBenefit(inst, osp.NewRandPr(), trials, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := osp.Exact(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := osp.ComputeStats(inst)
+		fmt.Printf("%3d  %8.2f  %12.2f  %14.2f  %12.2f   (Thm 4 bound %.1f)\n",
+			capacity, st.NuMean, mean, sol.Weight, sol.Weight/mean, osp.Theorem4Bound(st))
+	}
+
+	fmt.Println()
+	fmt.Println("Doubling the capacity halves the adjusted load: the measured ratio")
+	fmt.Println("falls with ν even though the burst size σ never changes — exactly")
+	fmt.Println("the supply/demand story Theorem 4 formalizes.")
+}

@@ -1,0 +1,51 @@
+// Multihop: the paper's "competitive scheduling of multi-part tasks"
+// scenario. Packets cross a line of bounded-capacity switches; a packet is
+// delivered only if every switch on its route serves it. Each switch runs
+// the distributed randPr: it ranks the packets present by a priority
+// derived from a shared hash seed — zero coordination, yet all switches
+// agree on every priority (Section 3.1 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/hashpr"
+	"repro/internal/router"
+	"repro/internal/workload"
+	"repro/osp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	mi, err := workload.Multihop(workload.MultihopConfig{
+		Hops:    8,
+		Packets: 200,
+		Horizon: 20,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := osp.ComputeStats(mi.Inst)
+	fmt.Printf("network: 8 switches, 200 packets, %d contended (time,hop) cells, peak contention %d\n\n",
+		mi.Inst.NumElements(), st.SigmaMax)
+
+	network, abstract, err := router.SimulateMultihop(mi, hashpr.Mixer{Seed: 1234})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed switches (drops propagate): %s\n", network)
+	fmt.Printf("abstract OSP run (analysis bound):      %s\n\n", abstract)
+
+	// FIFO comparison on the same trace.
+	res, err := osp.Run(mi.Inst, osp.Baselines()[2], nil) // greedyFirstListed
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FIFO-style deterministic baseline:      %d packets delivered\n", len(res.Completed))
+
+	fmt.Println("\nThe real network delivers at least as much as the abstract OSP run:")
+	fmt.Println("a packet dropped upstream stops competing downstream, so the paper's")
+	fmt.Println("competitive guarantee is a conservative bound for the deployed system.")
+}

@@ -1,0 +1,53 @@
+// Proofchain: watch Theorem 1's proof execute numerically. The example
+// builds a weighted instance, computes the offline optimum, and then
+// evaluates every inequality the proof composes — Lemma 1's exact survival
+// law, Lemma 3 applied to OPT and to the whole collection, the Lemma 4
+// disjointness step, the Lemma 5 element-wise sum, Eq. (4), and the final
+// Theorem 1 floor — verifying each one on real numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/osp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2010)) // PODC 2010
+	inst, err := osp.RandomInstance(osp.UniformConfig{
+		M: 14, N: 32, Load: 4, MinLoad: 1,
+		WeightFn: osp.ZipfWeights(1, 5),
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := osp.Exact(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	chain, err := analysis.Verify(inst, sol.Sets)
+	if err != nil {
+		log.Fatalf("proof chain broken (engine bug!): %v", err)
+	}
+	fmt.Println(chain.Describe())
+
+	fmt.Println("\nPer-set survival probabilities (Lemma 1):")
+	ps := analysis.SurvivalProbabilities(inst)
+	for i, p := range ps {
+		marker := " "
+		for _, s := range sol.Sets {
+			if int(s) == i {
+				marker = "*" // chosen by OPT
+			}
+		}
+		fmt.Printf("  set %2d%s  w=%5.2f  Pr[survives] = %.3f\n", i, marker, inst.Weights[i], p)
+	}
+	fmt.Println("\n(* = in the offline optimum. randPr doesn't know which sets those")
+	fmt.Println("are, yet its expected benefit is guaranteed within the Theorem 1")
+	fmt.Println("factor of their total weight.)")
+}

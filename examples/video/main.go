@@ -1,0 +1,52 @@
+// Video: the paper's motivating scenario. Several video streams emit
+// GoP-structured frames (heavy I-frames, medium P, light B) that fragment
+// into packets and squeeze through a one-packet-per-slot bottleneck link.
+// The example compares randPr's goodput against classic router policies
+// and shows the per-class delivery breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/router"
+	"repro/internal/workload"
+	"repro/osp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	vi, err := workload.Video(workload.VideoConfig{
+		Streams:         8,
+		FramesPerStream: 16,
+		Jitter:          3,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := osp.ComputeStats(vi.Inst)
+	fmt.Printf("trace: %d frames, %d packets, burst σmax = %d, kmax = %d packets/frame\n\n",
+		vi.Inst.NumSets(), vi.TotalPackets, st.SigmaMax, st.KMax)
+
+	greedyRef := osp.GreedyOffline(vi.Inst)
+	fmt.Printf("offline greedy reference: %.0f frame value\n\n", greedyRef.Weight)
+
+	for _, policy := range router.Policies() {
+		rep, err := router.Simulate(vi, policy, rand.New(rand.NewSource(7)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s goodput %6.1f  (I: %d/%d  P: %d/%d  B: %d/%d)\n",
+			policy.Name(), rep.WeightDelivered,
+			rep.ByClass["I"].Delivered, rep.ByClass["I"].Offered,
+			rep.ByClass["P"].Delivered, rep.ByClass["P"].Offered,
+			rep.ByClass["B"].Delivered, rep.ByClass["B"].Offered)
+	}
+
+	fmt.Println("\nrandPr's persistent weighted priorities keep whole frames alive, beating")
+	fmt.Println("size-oblivious policies (taildrop, uniformRandom). Weight-greedy heuristics")
+	fmt.Println("can win on benign traces like this one — but they carry no worst-case")
+	fmt.Println("guarantee: the Theorem 3 adversary (cmd/osplower -mode duel) forces them")
+	fmt.Println("to a σ^(k−1) competitive ratio, while randPr stays within kmax·sqrt(σmax).")
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/offline"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+func triangle(t *testing.T) *setsystem.Instance {
+	t.Helper()
+	var b setsystem.Builder
+	a := b.AddSet(1)
+	bb := b.AddSet(2)
+	c := b.AddSet(3)
+	b.AddElement(a, bb)
+	b.AddElement(a, c)
+	b.AddElement(bb, c)
+	return b.MustBuild()
+}
+
+func TestVerifyTriangle(t *testing.T) {
+	inst := triangle(t)
+	sol, err := offline.Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := Verify(inst, sol.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chain.EAlg-14.0/6.0) > 1e-12 {
+		t.Errorf("EAlg = %v, want 14/6", chain.EAlg)
+	}
+	if chain.OPTWeight != 3 {
+		t.Errorf("OPTWeight = %v, want 3", chain.OPTWeight)
+	}
+	// Lemma 3 with OPT={C}: 9/6 = 1.5; Lemma 4: 9/(2·6) = 0.75.
+	if math.Abs(chain.Lemma3OPT-1.5) > 1e-12 {
+		t.Errorf("Lemma3OPT = %v, want 1.5", chain.Lemma3OPT)
+	}
+	if math.Abs(chain.Lemma4-0.75) > 1e-12 {
+		t.Errorf("Lemma4 = %v, want 0.75", chain.Lemma4)
+	}
+	// Eq.(4): n·meanσ$ = 12 ≤ kmax·w(C) = 12 (equality: all sets size kmax).
+	if math.Abs(chain.Eq4LHS-12) > 1e-9 || math.Abs(chain.Eq4RHS-12) > 1e-9 {
+		t.Errorf("Eq4 = %v vs %v, want 12 = 12", chain.Eq4LHS, chain.Eq4RHS)
+	}
+	if !strings.Contains(chain.Describe(), "Lemma 4") {
+		t.Error("Describe missing proof steps")
+	}
+}
+
+// The full chain must hold on random weighted instances — this is the
+// numerical execution of the Theorem 1 proof.
+func TestChainHoldsOnRandomInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst, err := workload.Uniform(workload.UniformConfig{
+			M: 4 + int(seed%7+7)%7, N: 10 + int(seed%13+13)%13, Load: 3, MinLoad: 1,
+			WeightFn: workload.ZipfWeights(1, 5),
+		}, rng)
+		if err != nil {
+			t.Logf("gen: %v", err)
+			return false
+		}
+		sol, err := offline.Exact(inst)
+		if err != nil {
+			t.Logf("opt: %v", err)
+			return false
+		}
+		if _, err := Verify(inst, sol.Sets); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyRejectsVariableCapacity(t *testing.T) {
+	var b setsystem.Builder
+	s := b.AddSet(1)
+	b.AddElementCap(2, s)
+	inst := b.MustBuild()
+	if _, err := Verify(inst, nil); err == nil {
+		t.Error("variable capacity should be rejected")
+	}
+}
+
+func TestChainBrokenDetection(t *testing.T) {
+	// Hand a deliberately wrong "optimal" collection whose weight exceeds
+	// anything achievable: the chain must fail the Theorem 1 step.
+	inst := triangle(t)
+	// All three sets as "OPT" is infeasible (w=6): Theorem 1 floor becomes
+	// 6/2.83 = 2.12 < E[ALG] = 2.33 — actually still passes. Force failure
+	// by scaling: use duplicate heavy sets. Simpler: check Lemma 3 with an
+	// inflated OPT weight fails.
+	chain, err := Verify(inst, []setsystem.SetID{0, 1, 2})
+	// w(OPT)=6: Lemma3OPT = 36/18 = 2 ≤ EAlg 2.33 → passes;
+	// Lemma4 = 36/12 = 3 > Lemma3OPT = 2 → Lemma 4 step breaks, as it
+	// must: the disjointness assumption is violated.
+	if err == nil {
+		t.Fatalf("expected chain break for non-disjoint OPT, got chain %+v", chain)
+	}
+	if !errors.Is(err, ErrChainBroken) {
+		t.Errorf("err = %v, want ErrChainBroken", err)
+	}
+}
+
+func TestLemma2(t *testing.T) {
+	lhs, rhs, err := Lemma2([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lhs < rhs {
+		t.Errorf("Lemma 2 violated: %v < %v", lhs, rhs)
+	}
+	// Equality when a and b are proportional.
+	lhs, rhs, err = Lemma2([]float64{2, 4}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Errorf("Lemma 2 equality case: %v != %v", lhs, rhs)
+	}
+}
+
+func TestLemma2Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = 0.1 + rng.Float64()*10
+			b[i] = 0.1 + rng.Float64()*10
+		}
+		lhs, rhs, err := Lemma2(a, b)
+		return err == nil && lhs >= rhs-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma2Errors(t *testing.T) {
+	if _, _, err := Lemma2(nil, nil); err == nil {
+		t.Error("empty vectors should error")
+	}
+	if _, _, err := Lemma2([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := Lemma2([]float64{0}, []float64{1}); err == nil {
+		t.Error("non-positive entries should error")
+	}
+}
+
+func TestSurvivalProbabilities(t *testing.T) {
+	inst := triangle(t)
+	ps := SurvivalProbabilities(inst)
+	want := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i := range want {
+		if math.Abs(ps[i]-want[i]) > 1e-12 {
+			t.Errorf("ps[%d] = %v, want %v", i, ps[i], want[i])
+		}
+	}
+	// Sum of survival probabilities equals E[|ALG|] for unweighted... here
+	// weighted: Σ w·p = EAlg.
+	var e float64
+	for i, p := range ps {
+		e += inst.Weights[i] * p
+	}
+	if math.Abs(e-14.0/6.0) > 1e-12 {
+		t.Errorf("Σ w·p = %v, want 14/6", e)
+	}
+}

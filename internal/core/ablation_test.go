@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/setsystem"
+)
+
+func TestRedrawRandPrValidRuns(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	for seed := int64(0); seed < 50; seed++ {
+		res, err := Run(inst, &RedrawRandPr{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Benefit < 0 || res.Benefit > 6 {
+			t.Fatalf("benefit %v out of range", res.Benefit)
+		}
+	}
+	if _, err := Run(inst, &RedrawRandPr{}, nil); err == nil {
+		t.Error("redrawRandPr without rng should error")
+	}
+}
+
+func TestDetWeightPriorityDeterministic(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	r1, err := Run(inst, &DetWeightPriority{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(inst, &DetWeightPriority{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Benefit != r2.Benefit {
+		t.Error("detWeightPriority not deterministic")
+	}
+	// Highest weight (set 2, w=3) wins every contested element → only C.
+	if r1.Benefit != 3 || len(r1.Completed) != 1 || r1.Completed[0] != 2 {
+		t.Errorf("Completed = %v benefit %v, want [2] 3", r1.Completed, r1.Benefit)
+	}
+	if !Deterministic(&DetWeightPriority{}) {
+		t.Error("DetWeightPriority should report deterministic")
+	}
+	if Deterministic(&RedrawRandPr{}) {
+		t.Error("RedrawRandPr should not report deterministic")
+	}
+}
+
+// The ablation claim behind X14: persistence matters. On a long chain of
+// sets with many elements each, the per-element redraw variant must do
+// strictly worse on average than the faithful algorithm — a set needs to
+// win |S| independent lotteries instead of one.
+func TestRedrawLosesToPersistent(t *testing.T) {
+	// Two sets sharing k elements: persistent randPr completes one of them
+	// always; redraw completes one only if the same set wins all k draws
+	// (probability 2·(1/2)^k for equal weights).
+	const k = 6
+	var b setsystem.Builder
+	s0 := b.AddSet(1)
+	s1 := b.AddSet(1)
+	for i := 0; i < k; i++ {
+		b.AddElement(s0, s1)
+	}
+	inst := b.MustBuild()
+
+	const trials = 4000
+	var persistent, redraw float64
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := Run(inst, &RandPr{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		persistent += res.Benefit
+		res, err = Run(inst, &RedrawRandPr{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		redraw += res.Benefit
+	}
+	persistent /= trials
+	redraw /= trials
+	if persistent < 0.99 {
+		t.Errorf("persistent randPr mean %v, want 1.0 (one of the two sets always wins)", persistent)
+	}
+	// Theoretical redraw mean = 2·(1/2)^6 = 0.03125.
+	if redraw > 0.1 {
+		t.Errorf("redraw mean %v, want ≈0.031 — persistence ablation failed", redraw)
+	}
+}
+
+// DetWeightPriority falls to the Theorem 3 adversary like any
+// deterministic algorithm; with distinct weights the priorities are
+// consistent so exactly one set completes.
+func TestDetWeightPriorityChoosesHighestAmongTies(t *testing.T) {
+	var b setsystem.Builder
+	s0 := b.AddSet(2)
+	s1 := b.AddSet(2)
+	s2 := b.AddSet(1)
+	b.AddElement(s0, s1, s2)
+	b.AddElement(s0)
+	b.AddElement(s1)
+	b.AddElement(s2)
+	inst := b.MustBuild()
+	res, err := Run(inst, &DetWeightPriority{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie between s0 and s1 breaks to the lower id: s0 gets the contested
+	// element, s1 misses it, s2 misses it.
+	if !res.Completes(0) || res.Completes(1) || res.Completes(2) {
+		t.Errorf("Completed = %v, want exactly [0]", res.Completed)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"repro/internal/setsystem"
+)
+
+// The deterministic baselines below represent the single-packet-myopic
+// drop policies a router might plausibly implement. Theorem 3 shows every
+// deterministic policy suffers a σ^(k−1) competitive ratio; the baselines
+// make that lower bound concrete and give the randomized algorithm
+// something to beat in the systems experiments.
+
+// GreedyMaxWeight assigns each element to the b(u) still-completable
+// parents with the largest weights (ties to the smaller SetID).
+type GreedyMaxWeight struct {
+	weights []float64
+	buf     []setsystem.SetID
+}
+
+var _ Algorithm = (*GreedyMaxWeight)(nil)
+
+// Name implements Algorithm.
+func (a *GreedyMaxWeight) Name() string { return "greedyMaxWeight" }
+
+// Reset implements Algorithm.
+func (a *GreedyMaxWeight) Reset(info Info, _ *rand.Rand) error {
+	a.weights = info.Weights
+	return nil
+}
+
+// Choose implements Algorithm.
+func (a *GreedyMaxWeight) Choose(ev ElementView) []setsystem.SetID {
+	return chooseTopBy(ev, &a.buf, func(s setsystem.SetID) float64 { return a.weights[s] })
+}
+
+// GreedyFewestRemaining assigns each element to the still-completable
+// parents closest to completion (fewest elements left to arrive). This is
+// the "protect almost-finished frames" router policy.
+type GreedyFewestRemaining struct {
+	buf []setsystem.SetID
+}
+
+var _ Algorithm = (*GreedyFewestRemaining)(nil)
+
+// Name implements Algorithm.
+func (a *GreedyFewestRemaining) Name() string { return "greedyFewestRemaining" }
+
+// Reset implements Algorithm.
+func (a *GreedyFewestRemaining) Reset(Info, *rand.Rand) error { return nil }
+
+// Choose implements Algorithm.
+func (a *GreedyFewestRemaining) Choose(ev ElementView) []setsystem.SetID {
+	return chooseTopBy(ev, &a.buf, func(s setsystem.SetID) float64 {
+		return -float64(ev.State.Remaining(s))
+	})
+}
+
+// GreedyFirstListed assigns each element to the lowest-numbered
+// still-completable parents — the "first come, first served" policy, and
+// the canonical victim of the Theorem 3 adversary.
+type GreedyFirstListed struct {
+	buf []setsystem.SetID
+}
+
+var _ Algorithm = (*GreedyFirstListed)(nil)
+
+// Name implements Algorithm.
+func (a *GreedyFirstListed) Name() string { return "greedyFirstListed" }
+
+// Reset implements Algorithm.
+func (a *GreedyFirstListed) Reset(Info, *rand.Rand) error { return nil }
+
+// Choose implements Algorithm.
+func (a *GreedyFirstListed) Choose(ev ElementView) []setsystem.SetID {
+	return chooseTopBy(ev, &a.buf, func(s setsystem.SetID) float64 { return -float64(s) })
+}
+
+// UniformRandom assigns each element to b(u) still-completable parents
+// chosen uniformly at random, independently per element. Unlike randPr it
+// has no persistent priorities, so its per-element choices are
+// inconsistent across a set's lifetime — the experiments show how much
+// that costs.
+type UniformRandom struct {
+	rng *rand.Rand
+	buf []setsystem.SetID
+}
+
+var _ Algorithm = (*UniformRandom)(nil)
+
+// Name implements Algorithm.
+func (a *UniformRandom) Name() string { return "uniformRandom" }
+
+// Reset implements Algorithm.
+func (a *UniformRandom) Reset(_ Info, rng *rand.Rand) error {
+	if rng == nil {
+		return errors.New("core: uniformRandom needs a random source")
+	}
+	a.rng = rng
+	return nil
+}
+
+// Choose implements Algorithm.
+func (a *UniformRandom) Choose(ev ElementView) []setsystem.SetID {
+	cands := a.buf[:0]
+	for _, s := range ev.Members {
+		if ev.State.Active(s) {
+			cands = append(cands, s)
+		}
+	}
+	if len(cands) > ev.Capacity {
+		a.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		cands = cands[:ev.Capacity]
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	}
+	a.buf = cands
+	return cands
+}
+
+// chooseTopBy selects up to Capacity active members maximizing score
+// (ties to the smaller SetID).
+func chooseTopBy(ev ElementView, buf *[]setsystem.SetID, score func(setsystem.SetID) float64) []setsystem.SetID {
+	cands := (*buf)[:0]
+	for _, s := range ev.Members {
+		if ev.State.Active(s) {
+			cands = append(cands, s)
+		}
+	}
+	if len(cands) > ev.Capacity {
+		sort.Slice(cands, func(i, j int) bool {
+			si, sj := score(cands[i]), score(cands[j])
+			if si != sj {
+				return si > sj
+			}
+			return cands[i] < cands[j]
+		})
+		cands = cands[:ev.Capacity]
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	}
+	*buf = cands
+	return cands
+}
+
+// Baselines returns fresh instances of every deterministic baseline.
+func Baselines() []Algorithm {
+	return []Algorithm{
+		&GreedyMaxWeight{},
+		&GreedyFewestRemaining{},
+		&GreedyFirstListed{},
+	}
+}
+
+// Deterministic reports whether the algorithm ignores its random source —
+// used by the Theorem 3 experiment, whose adversary construction is only
+// meaningful against deterministic algorithms.
+func Deterministic(alg Algorithm) bool {
+	switch alg.(type) {
+	case *GreedyMaxWeight, *GreedyFewestRemaining, *GreedyFirstListed,
+		*HashRandPr, *DetWeightPriority:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+)
+
+func TestGreedyMaxWeightPrefersHeavy(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	res, err := Run(inst, &GreedyMaxWeight{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u0∈{A,B}→B(2); u1∈{A,C}→C(3); u2∈{B,C}→C. C completes.
+	if res.Benefit != 3 || len(res.Completed) != 1 || res.Completed[0] != 2 {
+		t.Errorf("Completed=%v Benefit=%v, want [2] 3", res.Completed, res.Benefit)
+	}
+}
+
+func TestGreedyFirstListedPrefersLowID(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	res, err := Run(inst, &GreedyFirstListed{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u0→A, u1→A, u2→B(B dead)→ B is inactive, C inactive; picks B? No:
+	// after u0→A, B inactive; after u1→A, C inactive; u2 has no active
+	// parents → empty. A completes.
+	if res.Benefit != 1 || len(res.Completed) != 1 || res.Completed[0] != 0 {
+		t.Errorf("Completed=%v Benefit=%v, want [0] 1", res.Completed, res.Benefit)
+	}
+}
+
+func TestGreedyFewestRemainingProtectsNearComplete(t *testing.T) {
+	// Set X has 2 elements, set Y has 3; after X gets one element, the
+	// shared element should go to X (1 remaining) over Y (2 remaining,
+	// after Y's first arrival).
+	var b setsystem.Builder
+	x := b.AddSet(1)
+	y := b.AddSet(1)
+	b.AddElement(x)    // X: 1 remaining after this
+	b.AddElement(y)    // Y: 2 remaining after this
+	b.AddElement(x, y) // contested
+	b.AddElement(y)
+	inst := b.MustBuild()
+
+	res, err := Run(inst, &GreedyFewestRemaining{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completes(0) {
+		t.Errorf("X should complete, got %v", res.Completed)
+	}
+	if res.Completes(1) {
+		t.Errorf("Y should lose the contested element, got %v", res.Completed)
+	}
+}
+
+func TestUniformRandomValidChoices(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	for seed := int64(0); seed < 50; seed++ {
+		if _, err := Run(inst, &UniformRandom{}, rand.New(rand.NewSource(seed))); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if _, err := Run(inst, &UniformRandom{}, nil); err == nil {
+		t.Error("UniformRandom without rng should error")
+	}
+}
+
+func TestBaselinesAreDeterministic(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	for _, alg := range Baselines() {
+		if !Deterministic(alg) {
+			t.Errorf("%s should report deterministic", alg.Name())
+		}
+		r1, err := Run(inst, alg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		r2, err := Run(inst, alg, nil)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", alg.Name(), err)
+		}
+		if r1.Benefit != r2.Benefit {
+			t.Errorf("%s: benefit differs across runs: %v vs %v", alg.Name(), r1.Benefit, r2.Benefit)
+		}
+	}
+	if Deterministic(&RandPr{}) || Deterministic(&UniformRandom{}) {
+		t.Error("randomized algorithms misreported as deterministic")
+	}
+}
+
+func TestHashRandPrDeterministicAndDistributed(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	alg1 := &HashRandPr{Hasher: hashpr.Mixer{Seed: 7}}
+	alg2 := &HashRandPr{Hasher: hashpr.Mixer{Seed: 7}}
+	r1, err := Run(inst, alg1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(inst, alg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Benefit != r2.Benefit || len(r1.Completed) != len(r2.Completed) {
+		t.Error("two servers with the same seed disagree — distributed consistency broken")
+	}
+	if _, err := Run(inst, &HashRandPr{}, nil); err == nil {
+		t.Error("HashRandPr without hasher should error")
+	}
+}
+
+// Distributed hash priorities reproduce the centralized survival law: over
+// many seeds, the per-set completion frequency matches Lemma 1.
+func TestHashRandPrMatchesLemma1(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	const trials = 60000
+	counts := make([]int, 3)
+	for seed := uint64(0); seed < trials; seed++ {
+		alg := &HashRandPr{Hasher: hashpr.Mixer{Seed: seed}}
+		res, err := Run(inst, alg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.Completed {
+			counts[s]++
+		}
+	}
+	for i, w := range inst.Weights {
+		want := w / 6.0
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.012 {
+			t.Errorf("hash Pr[set %d survives] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// With the d-wise independent family the same law holds.
+func TestPolyFamilyPrioritiesMatchLemma1(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	const trials = 30000
+	counts := make([]int, 3)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < trials; trial++ {
+		pf, err := hashpr.NewPolyFamily(6, rng) // kmax·σmax = 2·2 = 4 < 6
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := &HashRandPr{Hasher: pf}
+		res, err := Run(inst, alg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.Completed {
+			counts[s]++
+		}
+	}
+	for i, w := range inst.Weights {
+		want := w / 6.0
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("poly Pr[set %d survives] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestChooseRespectsCapacity(t *testing.T) {
+	var b setsystem.Builder
+	ids := b.AddSets(5, 1)
+	b.AddElementCap(2, ids...)
+	for _, id := range ids {
+		b.AddElement(id)
+	}
+	inst := b.MustBuild()
+
+	algs := []Algorithm{
+		&RandPr{}, &RandPr{ActiveOnly: true},
+		&GreedyMaxWeight{}, &GreedyFewestRemaining{}, &GreedyFirstListed{},
+		&UniformRandom{}, &HashRandPr{Hasher: hashpr.Mixer{Seed: 1}},
+	}
+	for _, alg := range algs {
+		res, err := Run(inst, alg, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		// Exactly 2 of the 5 singleton+shared sets can complete... each set
+		// has 2 elements (shared + own); capacity 2 on the shared element
+		// means at most 2 sets get it.
+		if len(res.Completed) > 2 {
+			t.Errorf("%s completed %d sets, capacity allows 2", alg.Name(), len(res.Completed))
+		}
+	}
+}

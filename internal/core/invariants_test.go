@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setsystem"
+)
+
+// chaosAlg makes an arbitrary VALID choice for every element: a random
+// subset of the parents of size ≤ capacity. It exists to fuzz the runner's
+// accounting: whatever a correct algorithm does, the engine's invariants
+// must hold.
+type chaosAlg struct {
+	rng *rand.Rand
+	buf []setsystem.SetID
+}
+
+func (c *chaosAlg) Name() string { return "chaos" }
+func (c *chaosAlg) Reset(_ Info, rng *rand.Rand) error {
+	c.rng = rng
+	return nil
+}
+func (c *chaosAlg) Choose(ev ElementView) []setsystem.SetID {
+	c.buf = append(c.buf[:0], ev.Members...)
+	c.rng.Shuffle(len(c.buf), func(i, j int) { c.buf[i], c.buf[j] = c.buf[j], c.buf[i] })
+	n := c.rng.Intn(minInt(len(c.buf), ev.Capacity) + 1)
+	out := c.buf[:n]
+	// Runner requires no duplicates (shuffle preserves distinctness) and
+	// members only; both hold by construction.
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func randomCapacityInstance(rng *rand.Rand) *setsystem.Instance {
+	var b setsystem.Builder
+	m := 2 + rng.Intn(12)
+	ids := make([]setsystem.SetID, 0, m)
+	for i := 0; i < m; i++ {
+		ids = append(ids, b.AddSet(0.1+rng.Float64()*5))
+	}
+	n := 3 + rng.Intn(25)
+	touched := make(map[setsystem.SetID]bool)
+	for j := 0; j < n; j++ {
+		sigma := 1 + rng.Intn(m)
+		perm := rng.Perm(m)[:sigma]
+		members := make([]setsystem.SetID, 0, sigma)
+		for _, p := range perm {
+			members = append(members, ids[p])
+			touched[ids[p]] = true
+		}
+		b.AddElementCap(1+rng.Intn(3), members...)
+	}
+	for _, id := range ids {
+		if !touched[id] {
+			b.AddElement(id)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Runner invariants under arbitrary valid behaviour: benefit equals the
+// weight of Completed; Completed are exactly the fully-assigned sets;
+// per-set assignments never exceed arrivals.
+func TestRunnerInvariantsUnderChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomCapacityInstance(rng)
+		res, err := Run(inst, &chaosAlg{}, rng)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		var wantBenefit float64
+		for _, s := range res.Completed {
+			wantBenefit += inst.Weights[s]
+		}
+		if diff := res.Benefit - wantBenefit; diff > 1e-9 || diff < -1e-9 {
+			t.Logf("benefit %v != completed weight %v", res.Benefit, wantBenefit)
+			return false
+		}
+		counts := make([]int32, inst.NumSets())
+		for _, e := range inst.Elements {
+			for _, s := range e.Members {
+				counts[s]++
+			}
+		}
+		completed := make(map[setsystem.SetID]bool, len(res.Completed))
+		prev := setsystem.SetID(-1)
+		for _, s := range res.Completed {
+			if s <= prev {
+				t.Log("Completed not strictly ascending")
+				return false
+			}
+			prev = s
+			completed[s] = true
+		}
+		for i := range counts {
+			if res.Assigned[i] > counts[i] {
+				t.Logf("set %d assigned %d > arrived %d", i, res.Assigned[i], counts[i])
+				return false
+			}
+			isDone := int(res.Assigned[i]) == inst.Sizes[i]
+			if isDone != completed[setsystem.SetID(i)] {
+				t.Logf("set %d completion flag mismatch", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every built-in algorithm must produce valid runs on random
+// variable-capacity instances (the runner would error otherwise).
+func TestAllAlgorithmsValidOnRandomInstances(t *testing.T) {
+	algs := func() []Algorithm {
+		return []Algorithm{
+			&RandPr{}, &RandPr{ActiveOnly: true}, &RedrawRandPr{},
+			&DetWeightPriority{}, &UniformRandom{},
+			&GreedyMaxWeight{}, &GreedyFewestRemaining{}, &GreedyFirstListed{},
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomCapacityInstance(rng)
+		for _, alg := range algs() {
+			if _, err := Run(inst, alg, rand.New(rand.NewSource(seed+7))); err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Disjoint sets always complete under randPr: with no competition, every
+// set wins all its elements regardless of priorities.
+func TestRandPrCompletesDisjointSets(t *testing.T) {
+	var b setsystem.Builder
+	for i := 0; i < 6; i++ {
+		s := b.AddSet(float64(i + 1))
+		b.AddElement(s)
+		b.AddElement(s)
+	}
+	inst := b.MustBuild()
+	res, err := Run(inst, &RandPr{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completed) != 6 {
+		t.Errorf("completed %d of 6 disjoint sets", len(res.Completed))
+	}
+	if res.Benefit != 21 {
+		t.Errorf("benefit = %v, want 21", res.Benefit)
+	}
+}
+
+// Capacity ≥ load means no contention at all: everyone completes.
+func TestAmpleCapacityCompletesEverything(t *testing.T) {
+	var b setsystem.Builder
+	ids := b.AddSets(5, 1)
+	for j := 0; j < 4; j++ {
+		b.AddElementCap(5, ids...)
+	}
+	inst := b.MustBuild()
+	for _, alg := range []Algorithm{&RandPr{}, &GreedyMaxWeight{}, &UniformRandom{}} {
+		res, err := Run(inst, alg, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if len(res.Completed) != 5 {
+			t.Errorf("%s completed %d of 5 under ample capacity", alg.Name(), len(res.Completed))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registered %d experiments, want 16 (X1-X11 reproduction + X12-X16 extensions)", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %q incompletely defined", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13", "X14", "X15", "X16"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("X7")
+	if err != nil || e.ID != "X7" {
+		t.Errorf("ByID(X7) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID(nope) should fail")
+	}
+}
+
+// Every experiment must run cleanly in quick mode and produce a verdict
+// table with no failed checks. This is the integration test of the entire
+// reproduction pipeline.
+func TestQuickRunAllExperiments(t *testing.T) {
+	cfg := Config{Seed: 12345, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if strings.Contains(out, "NO") {
+				t.Errorf("%s has failed verdicts:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Seed: 5, Quick: true, Trials: 3}
+	if err := RunAll(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"X1", "X11"} {
+		if !strings.Contains(buf.String(), "=== "+id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestConfigTrials(t *testing.T) {
+	if got := (Config{}).trials(100); got != 100 {
+		t.Errorf("default trials = %d", got)
+	}
+	if got := (Config{Trials: 7}).trials(100); got != 7 {
+		t.Errorf("explicit trials = %d", got)
+	}
+	if got := (Config{Quick: true}).trials(100); got != 10 {
+		t.Errorf("quick trials = %d", got)
+	}
+	if got := (Config{Quick: true}).trials(10); got != 10 {
+		t.Errorf("quick small trials = %d", got)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if check(true) != "yes" || check(false) != "NO" {
+		t.Error("check verdict strings wrong")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The cheap experiments also run at FULL parameter sweeps in CI (skipped
+// under -short): this guards the exact configurations EXPERIMENTS.md
+// records, not just the shrunken quick variants.
+func TestFullModeCheapExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	// X7 and X16 are fast even at full scale; X2/X3/X4/X5 with a reduced
+	// draw count keep their full sweeps but cut Monte-Carlo repetition.
+	cases := []struct {
+		id     string
+		trials int
+	}{
+		{"X7", 0},
+		{"X16", 3},
+		{"X2", 5},
+		{"X3", 5},
+		{"X4", 5},
+		{"X5", 5},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			e, err := ByID(c.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(Config{Seed: 1, Trials: c.trials}, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(buf.String(), "NO") {
+				t.Errorf("%s full-mode failed verdicts:\n%s", c.id, buf.String())
+			}
+		})
+	}
+}
+
+// Reproducibility: the same seed must give byte-identical experiment
+// output (the whole pipeline is deterministic given the seed).
+func TestExperimentsDeterministicPerSeed(t *testing.T) {
+	e, err := ByID("X7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := e.Run(Config{Seed: 42, Quick: true}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(Config{Seed: 42, Quick: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("X7 output differs across identical-seed runs")
+	}
+
+	e16, err := ByID("X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	b.Reset()
+	if err := e16.Run(Config{Seed: 42, Quick: true}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e16.Run(Config{Seed: 42, Quick: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("X16 output differs across identical-seed runs")
+	}
+}

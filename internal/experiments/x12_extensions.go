@@ -1,0 +1,344 @@
+package experiments
+
+// The X12–X15 experiments cover the three open problems of the paper's
+// Section 5 — partial credit (X12), buffers (X13), general packing
+// matrices (X15) — plus the ablation study (X14) isolating the design
+// choices randPr's analysis rests on. These go beyond the published
+// results; they are labelled extensions in DESIGN.md and EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/genpack"
+	"repro/internal/hashpr"
+	"repro/internal/lowerbound"
+	"repro/internal/partial"
+	"repro/internal/router"
+	"repro/internal/setsystem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// lowerboundDuel adapts lowerbound.RunDuel's signature for the ablation.
+func lowerboundDuel(sigma, k int, alg core.Algorithm) (*core.Result, *setsystem.Instance, int, error) {
+	return lowerbound.RunDuel(sigma, k, alg)
+}
+
+// expX12 measures partial-credit OSP (Section 5, open problem 3): how the
+// achievable benefit and the ratio to the (relaxed) optimum change when a
+// set may lose up to D elements — the FEC story for video.
+func expX12() Experiment {
+	return Experiment{
+		ID:    "X12",
+		Title: "Extension: partial credit (Section 5, open problem 3)",
+		Claim: "slack D > 0 lifts both ALG and OPT; slack-aware filtering recovers most of the relaxed optimum",
+		Run: func(cfg Config, w io.Writer) error {
+			draws := cfg.trials(15)
+			slacks := []int{0, 1, 2, 3}
+			if cfg.Quick {
+				slacks = []int{0, 1}
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Partial credit (m=10, n=24, σ=3, unweighted, %d draws/row)", draws),
+				"D", "relaxed OPT", "E[randPr] @D", "E[slack-aware randPr] @D", "ratio (aware)")
+			for _, d := range slacks {
+				var optAcc, plainAcc, awareAcc stats.Accumulator
+				for dr := 0; dr < draws; dr++ {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(d*100+dr)))
+					inst, err := workload.Uniform(workload.UniformConfig{M: 10, N: 24, Load: 3}, rng)
+					if err != nil {
+						return err
+					}
+					sol, err := partial.ExactRelaxed(inst, d, 0)
+					if err != nil {
+						return err
+					}
+					optAcc.Add(sol.Weight)
+					const mc = 60
+					for t := 0; t < mc; t++ {
+						seed := cfg.Seed + int64(dr*1000+t)
+						res, err := core.Run(inst, &core.RandPr{}, rand.New(rand.NewSource(seed)))
+						if err != nil {
+							return err
+						}
+						bp, err := partial.Benefit(inst, res, d)
+						if err != nil {
+							return err
+						}
+						plainAcc.Add(bp)
+
+						// The inner algorithm must NOT apply its own strict
+						// D=0 active filter, or it would discard sets the
+						// slack still permits.
+						res, err = core.Run(inst,
+							&partial.SlackAware{Inner: &core.RandPr{}, Slack: d},
+							rand.New(rand.NewSource(seed)))
+						if err != nil {
+							return err
+						}
+						ba, err := partial.Benefit(inst, res, d)
+						if err != nil {
+							return err
+						}
+						awareAcc.Add(ba)
+					}
+				}
+				ratio := optAcc.Mean() / awareAcc.Mean()
+				tbl.AddRow(d, f2(optAcc.Mean()), f2(plainAcc.Mean()), f2(awareAcc.Mean()), f2(ratio))
+			}
+			if err := tbl.Render(w); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintln(w, "\n(Both OPT and ALG rise with D, and the slack-aware variant keeps a"+
+				" roughly constant fraction of the relaxed optimum at every slack level —"+
+				" the all-or-nothing cliff is what OSP's difficulty is made of, and FEC-style"+
+				" slack softens it for both sides.)")
+			return err
+		},
+	}
+}
+
+// expX13 measures the effect of buffers (Section 5, open problem 2): a
+// B-packet buffer before the link, with service and eviction by policy.
+func expX13() Experiment {
+	return Experiment{
+		ID:    "X13",
+		Title: "Extension: buffered bottleneck link (Section 5, open problem 2)",
+		Claim: "large buffers amplify randPr's advantage: priority eviction buffers packets of frames it will finish, while FIFO/weight policies barely benefit",
+		Run: func(cfg Config, w io.Writer) error {
+			seeds := cfg.trials(25)
+			buffers := []int{0, 1, 2, 4, 8, 16}
+			if cfg.Quick {
+				buffers = []int{0, 2, 8}
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Buffered link, 8 streams × 12 GoP frames (%d seeds/cell): mean goodput", seeds),
+				append([]string{"policy"}, bufHeaders(buffers)...)...)
+			for _, policy := range router.BufferPolicies() {
+				row := make([]interface{}, 0, len(buffers)+1)
+				row = append(row, policy.Name())
+				for _, bufSize := range buffers {
+					var acc stats.Accumulator
+					for s := 0; s < seeds; s++ {
+						rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
+						vi, err := workload.Video(workload.VideoConfig{
+							Streams: 8, FramesPerStream: 12, Jitter: 3,
+						}, rng)
+						if err != nil {
+							return err
+						}
+						rep, err := router.SimulateBuffered(vi, policy, bufSize,
+							rand.New(rand.NewSource(cfg.Seed+int64(1000+s))))
+						if err != nil {
+							return err
+						}
+						acc.Add(rep.WeightDelivered)
+					}
+					row = append(row, f1(acc.Mean()))
+				}
+				tbl.AddRow(row...)
+			}
+			return tbl.Render(w)
+		},
+	}
+}
+
+func bufHeaders(buffers []int) []string {
+	hs := make([]string, len(buffers))
+	for i, b := range buffers {
+		hs[i] = fmt.Sprintf("B=%d", b)
+	}
+	return hs
+}
+
+// expX14 is the ablation study: which ingredients of randPr matter?
+// Persistent priorities (vs per-element redraw), randomization (vs
+// deterministic weight priority), and the R_w law's weight sensitivity
+// are each knocked out in turn.
+func expX14() Experiment {
+	return Experiment{
+		ID:    "X14",
+		Title: "Ablation: which parts of randPr matter",
+		Claim: "persistence and randomization each carry real benefit; hash-based priorities are a free lunch",
+		Run: func(cfg Config, w io.Writer) error {
+			trials := cfg.trials(400)
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			inst, err := workload.Uniform(workload.UniformConfig{
+				M: 20, N: 60, Load: 5,
+				WeightFn: workload.ZipfWeights(1, 6),
+			}, rng)
+			if err != nil {
+				return err
+			}
+			closed := core.RandPrExpectedBenefit(inst)
+
+			algs := []core.Algorithm{
+				&core.RandPr{},
+				&core.RandPr{ActiveOnly: true},
+				&core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(cfg.Seed)}},
+				&core.RedrawRandPr{},
+				&core.DetWeightPriority{},
+				&core.UniformRandom{},
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Ablation on one weighted instance (m=20, n=60, σ=5; Lemma 1 closed form %.2f; %d runs)", closed, trials),
+				"variant", "knocked out", "E[w(ALG)]", "vs randPr")
+			knock := map[string]string{
+				"randPr":            "(the published algorithm)",
+				"randPr+active":     "adds active filter (refinement)",
+				"hashRandPr":        "RNG → shared hash (distributed)",
+				"redrawRandPr":      "persistence (redrawn per element)",
+				"detWeightPriority": "randomization (priority = weight)",
+				"uniformRandom":     "both (memoryless, unweighted)",
+			}
+			var base float64
+			for _, alg := range algs {
+				var acc stats.Accumulator
+				for t := 0; t < trials; t++ {
+					var res *core.Result
+					var rerr error
+					if h, ok := alg.(*core.HashRandPr); ok {
+						h.Hasher = hashpr.Mixer{Seed: uint64(cfg.Seed) + uint64(t)}
+						res, rerr = core.Run(inst, h, nil)
+					} else {
+						res, rerr = core.Run(inst, alg, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+					}
+					if rerr != nil {
+						return rerr
+					}
+					acc.Add(res.Benefit)
+				}
+				if alg.Name() == "randPr" {
+					base = acc.Mean()
+				}
+				rel := "1.00x"
+				if base > 0 {
+					rel = fmt.Sprintf("%.2fx", acc.Mean()/base)
+				}
+				tbl.AddRow(alg.Name(), knock[alg.Name()], f2(acc.Mean()), rel)
+			}
+			if err := tbl.Render(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+
+			// Part 2: why randomization matters — on benign instances the
+			// deterministic weight-priority variant looks great, so replay
+			// the Theorem 3 worst case *built against it* and compare on
+			// that fixed (now oblivious) instance.
+			advTbl, err := ablationAdversarial(cfg, trials)
+			if err != nil {
+				return err
+			}
+			if err := advTbl.Render(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, "\n(The deterministic variant wins benign traces but is pinned at 1"+
+				" on its own worst case; randPr's guarantee is instance-independent.)")
+			return err
+		},
+	}
+}
+
+// ablationAdversarial materializes the σ=3, k=3 adversary instance against
+// detWeightPriority and replays it under every variant.
+func ablationAdversarial(cfg Config, trials int) (*stats.Table, error) {
+	const sigma, k = 3, 3
+	det := &core.DetWeightPriority{}
+	detRes, inst, certOPT, err := lowerboundDuel(sigma, k, det)
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Replay of detWeightPriority's Theorem 3 worst case (σ=%d, k=%d, OPT ≥ %d)", sigma, k, certOPT),
+		"algorithm", "E[ALG] on this instance", "ratio vs certified OPT")
+	tbl.AddRow(det.Name(), f2(detRes.Benefit), f1(float64(certOPT)/maxf(detRes.Benefit, 1)))
+	for _, alg := range []core.Algorithm{&core.RandPr{}, &core.UniformRandom{}} {
+		var acc stats.Accumulator
+		for t := 0; t < trials; t++ {
+			res, err := core.Run(inst, alg, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(res.Benefit)
+		}
+		tbl.AddRow(alg.Name(), f2(acc.Mean()), f1(float64(certOPT)/maxf(acc.Mean(), 1e-9)))
+	}
+	return tbl, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// expX15 measures the generalized packing model (Section 5, open
+// problem 1): arbitrary non-negative integer matrix entries, with the
+// randPr recipe lifted to a priority-ordered knapsack.
+func expX15() Experiment {
+	return Experiment{
+		ID:    "X15",
+		Title: "Extension: general packing matrices (Section 5, open problem 1)",
+		Claim: "the randPr recipe stays within small constant factors of OPT on random generalized instances",
+		Run: func(cfg Config, w io.Writer) error {
+			draws := cfg.trials(15)
+			const mcTrials = 200
+			cells := []struct{ maxDemand, capacity int }{
+				{1, 2}, {2, 3}, {3, 4}, {4, 6}, {4, 8},
+			}
+			if cfg.Quick {
+				cells = cells[:2]
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Generalized packing (m=14, n=30, σ=4, Zipf weights, %d draws/row)", draws),
+				"max demand", "capacity", "E[genRandPr]", "E[genGreedyWeight]", "exact OPT", "OPT/E[genRandPr]")
+			for _, c := range cells {
+				var randAcc, greedyAcc, optAcc stats.Accumulator
+				for d := 0; d < draws; d++ {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(c.maxDemand*1000+c.capacity*100+d)))
+					in, err := genpack.Random(genpack.RandomConfig{
+						M: 14, N: 30, Load: 4,
+						MaxDemand: c.maxDemand, Capacity: c.capacity,
+						WeightFn: workload.ZipfWeights(1, 4),
+					}, rng)
+					if err != nil {
+						return err
+					}
+					sol, err := genpack.Exact(in, 0)
+					if err != nil {
+						return err
+					}
+					optAcc.Add(sol.Benefit)
+					for t := 0; t < mcTrials; t++ {
+						res, err := genpack.Run(in, &genpack.RandPr{}, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+						if err != nil {
+							return err
+						}
+						randAcc.Add(res.Benefit)
+					}
+					res, err := genpack.Run(in, &genpack.GreedyWeight{}, nil)
+					if err != nil {
+						return err
+					}
+					greedyAcc.Add(res.Benefit)
+				}
+				ratio := optAcc.Mean() / randAcc.Mean()
+				tbl.AddRow(c.maxDemand, c.capacity, f2(randAcc.Mean()), f2(greedyAcc.Mean()),
+					f2(optAcc.Mean()), f2(ratio))
+			}
+			if err := tbl.Render(w); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintln(w, "\n(No competitive bound is proven for this model in the paper —"+
+				" these are the empirical data points the open problem asks about.)")
+			return err
+		},
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/setsystem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// expX1 reproduces Lemma 1: under randPr, every set S survives with
+// probability exactly w(S)/w(N[S]). The experiment runs randPr many times
+// on fixed weighted instances and compares the empirical completion
+// frequency of every set to the closed form, reporting the worst
+// discrepancy in units of the binomial standard error.
+func expX1() Experiment {
+	return Experiment{
+		ID:    "X1",
+		Title: "Lemma 1 — exact survival probability of randPr",
+		Claim: "Pr[S ∈ ALG] = w(S)/w(N[S]) for every set S (unit capacity)",
+		Run: func(cfg Config, w io.Writer) error {
+			trials := cfg.trials(200000)
+			rng := rand.New(rand.NewSource(cfg.Seed))
+
+			tbl := stats.NewTable(
+				fmt.Sprintf("Lemma 1 survival law (%d trials per instance)", trials),
+				"instance", "m", "n", "worst |emp − w/w(N[S])|", "worst z-score", "within 4σ?")
+
+			for _, tc := range lemma1Instances(rng) {
+				worstAbs, worstZ, err := lemma1Discrepancy(tc.inst, trials, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				tbl.AddRow(tc.name, tc.inst.NumSets(), tc.inst.NumElements(),
+					fmt.Sprintf("%.4f", worstAbs), f2(worstZ), check(worstZ < 4))
+			}
+			return tbl.Render(w)
+		},
+	}
+}
+
+type namedInstance struct {
+	name string
+	inst *setsystem.Instance
+}
+
+func lemma1Instances(rng *rand.Rand) []namedInstance {
+	var out []namedInstance
+
+	var b setsystem.Builder
+	a := b.AddSet(1)
+	bb := b.AddSet(2)
+	c := b.AddSet(3)
+	b.AddElement(a, bb)
+	b.AddElement(a, c)
+	b.AddElement(bb, c)
+	out = append(out, namedInstance{"triangle w=1,2,3", b.MustBuild()})
+
+	inst, err := workload.Uniform(workload.UniformConfig{
+		M: 12, N: 24, Load: 3,
+		WeightFn: workload.ZipfWeights(1, 8),
+	}, rng)
+	if err == nil {
+		out = append(out, namedInstance{"random zipf m=12", inst})
+	}
+	inst2, err := workload.Uniform(workload.UniformConfig{M: 8, N: 20, Load: 4}, rng)
+	if err == nil {
+		out = append(out, namedInstance{"random unweighted m=8", inst2})
+	}
+	return out
+}
+
+// lemma1Discrepancy measures the empirical survival frequency of every set
+// against the Lemma 1 closed form and returns the worst absolute gap and
+// the worst gap in standard-error units.
+func lemma1Discrepancy(inst *setsystem.Instance, trials int, seed int64) (worstAbs, worstZ float64, err error) {
+	nw := core.NeighborhoodWeights(inst)
+	counts := make([]int, inst.NumSets())
+	alg := &core.RandPr{}
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)*2654435761))
+		res, rerr := core.Run(inst, alg, rng)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		for _, s := range res.Completed {
+			counts[s]++
+		}
+	}
+	for i, wgt := range inst.Weights {
+		want := 0.0
+		if nw[i] > 0 {
+			want = wgt / nw[i]
+		}
+		got := float64(counts[i]) / float64(trials)
+		se := math.Sqrt(want*(1-want)/float64(trials)) + 1e-12
+		abs := math.Abs(got - want)
+		if abs > worstAbs {
+			worstAbs = abs
+		}
+		if z := abs / se; z > worstZ {
+			worstZ = z
+		}
+	}
+	return worstAbs, worstZ, nil
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/setsystem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The unit-capacity upper-bound experiments (X2–X5) share one skeleton:
+// generate instances from a parameterized family, compute the exact
+// expected benefit of randPr from the Lemma 1 closed form, compute exact
+// OPT by branch-and-bound, and compare the measured competitive ratio
+// OPT/E[ALG] to the theorem's closed-form bound.
+
+// ratioRow is one table row of a bound experiment.
+type ratioRow struct {
+	label    string
+	st       setsystem.Stats
+	ratio    float64 // measured OPT / E[ALG], averaged over instances
+	bound    float64 // theorem bound, averaged over instances
+	altBound float64 // secondary bound (e.g. Corollary 6), 0 if unused
+}
+
+// measureRatio draws `draws` instances via gen and returns the averaged
+// measured ratio and bound values.
+func measureRatio(draws int, gen func(i int) (*setsystem.Instance, error),
+	bound func(setsystem.Stats) float64, altBound func(setsystem.Stats) float64) (ratioRow, error) {
+
+	var row ratioRow
+	var ratioAcc, boundAcc, altAcc stats.Accumulator
+	for i := 0; i < draws; i++ {
+		inst, err := gen(i)
+		if err != nil {
+			return row, err
+		}
+		ealg := core.RandPrExpectedBenefit(inst)
+		sol, err := offline.Exact(inst)
+		if err != nil {
+			return row, err
+		}
+		if ealg <= 0 {
+			continue
+		}
+		st := setsystem.Compute(inst)
+		ratioAcc.Add(sol.Weight / ealg)
+		boundAcc.Add(bound(st))
+		if altBound != nil {
+			altAcc.Add(altBound(st))
+		}
+		row.st = st // keep the last draw's stats for display
+	}
+	row.ratio = ratioAcc.Mean()
+	row.bound = boundAcc.Mean()
+	row.altBound = altAcc.Mean()
+	return row, nil
+}
+
+// expX2 reproduces Theorem 1 and Corollary 6 on weighted random instances:
+// the measured ratio OPT/E[randPr] never exceeds
+// kmax·sqrt(mean(σσ$)/mean(σ$)) ≤ kmax·sqrt(σmax), and the refined bound
+// tracks the load sweep.
+func expX2() Experiment {
+	return Experiment{
+		ID:    "X2",
+		Title: "Theorem 1 + Corollary 6 — randPr upper bound, weighted unit capacity",
+		Claim: "OPT/E[ALG] ≤ kmax·sqrt(mean(σ·σ$)/mean(σ$)) ≤ kmax·sqrt(σmax)",
+		Run: func(cfg Config, w io.Writer) error {
+			draws := cfg.trials(30)
+			loads := []int{2, 3, 4, 6, 8, 12, 16}
+			if cfg.Quick {
+				loads = []int{2, 4, 8}
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Theorem 1 sweep (m=18, n=36, heterogeneous loads 1..σ, Zipf weights, %d draws/row)", draws),
+				"σ target", "kmax", "σmax", "measured OPT/E[ALG]", "Thm1 bound", "Cor6 bound", "ratio ≤ Thm1?", "Thm1 ≤ Cor6?")
+			for _, load := range loads {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(load)))
+				row, err := measureRatio(draws, func(int) (*setsystem.Instance, error) {
+					return workload.Uniform(workload.UniformConfig{
+						M: 18, N: 36, Load: load, MinLoad: 1,
+						WeightFn: workload.ZipfWeights(1, 4),
+					}, rng)
+				}, setsystem.Theorem1Bound, setsystem.Corollary6Bound)
+				if err != nil {
+					return err
+				}
+				tbl.AddRow(load, row.st.KMax, row.st.SigmaMax,
+					f2(row.ratio), f2(row.bound), f2(row.altBound),
+					check(row.ratio <= row.bound+1e-9),
+					check(row.bound <= row.altBound+1e-9))
+			}
+			return tbl.Render(w)
+		},
+	}
+}
+
+// expX3 reproduces Theorem 5: with uniform set size k the ratio is bounded
+// by k·mean(σ²)/mean(σ)².
+func expX3() Experiment {
+	return Experiment{
+		ID:    "X3",
+		Title: "Theorem 5 — uniform set size, heterogeneous loads",
+		Claim: "E[|ALG|] ≥ |OPT|·mean(σ)²/(k·mean(σ²)), i.e. ratio ≤ k·mean(σ²)/mean(σ)²",
+		Run: func(cfg Config, w io.Writer) error {
+			draws := cfg.trials(30)
+			ks := []int{2, 3, 4, 5, 6}
+			if cfg.Quick {
+				ks = []int{2, 4}
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Theorem 5 sweep (m=18, n=40, unweighted, %d draws/row)", draws),
+				"k", "mean σ", "mean σ²", "measured OPT/E[ALG]", "Thm5 bound", "ratio ≤ bound?")
+			for _, k := range ks {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(100*k)))
+				row, err := measureRatio(draws, func(int) (*setsystem.Instance, error) {
+					return workload.FixedSize(workload.FixedSizeConfig{M: 18, N: 40, K: k}, rng)
+				}, setsystem.Theorem5Bound, nil)
+				if err != nil {
+					return err
+				}
+				tbl.AddRow(k, f2(row.st.SigmaMean), f2(row.st.Sigma2),
+					f2(row.ratio), f2(row.bound), check(row.ratio <= row.bound+1e-9))
+			}
+			return tbl.Render(w)
+		},
+	}
+}
+
+// expX4 reproduces Corollary 7: on biregular instances (uniform size and
+// load) the ratio is at most k, independent of σ — the only bound in the
+// paper with no load dependence. The sweep shows the measured ratio
+// staying below k while σ quadruples.
+func expX4() Experiment {
+	return Experiment{
+		ID:    "X4",
+		Title: "Corollary 7 — biregular instances: ratio ≤ k independent of σ",
+		Claim: "uniform size k and uniform load σ ⇒ E[|ALG|] ≥ |OPT|/k for every σ",
+		Run: func(cfg Config, w io.Writer) error {
+			draws := cfg.trials(30)
+			const m, k = 24, 4
+			sigmas := []int{2, 3, 4, 6, 8, 12}
+			if cfg.Quick {
+				sigmas = []int{2, 4, 8}
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Corollary 7 sweep (m=%d, k=%d biregular, %d draws/row)", m, k, draws),
+				"σ", "n", "measured OPT/E[ALG]", "bound k", "ratio ≤ k?")
+			for _, sigma := range sigmas {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*sigma)))
+				row, err := measureRatio(draws, func(int) (*setsystem.Instance, error) {
+					return workload.Regular(workload.RegularConfig{M: m, K: k, Sigma: sigma}, rng)
+				}, setsystem.Corollary7Bound, nil)
+				if err != nil {
+					return err
+				}
+				tbl.AddRow(sigma, row.st.N, f2(row.ratio), k, check(row.ratio <= float64(k)+1e-9))
+			}
+			return tbl.Render(w)
+		},
+	}
+}
+
+// expX5 reproduces Theorem 6: with uniform element load σ (set sizes
+// mixed), the ratio is bounded by mean(k)·sqrt(σ).
+func expX5() Experiment {
+	return Experiment{
+		ID:    "X5",
+		Title: "Theorem 6 — uniform load, mixed set sizes",
+		Claim: "E[|ALG|] ≥ |OPT|/(mean(k)·sqrt(σ))",
+		Run: func(cfg Config, w io.Writer) error {
+			draws := cfg.trials(30)
+			loads := []int{2, 3, 4, 6, 8}
+			if cfg.Quick {
+				loads = []int{2, 4}
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Theorem 6 sweep (m=15, n=40, unweighted, %d draws/row)", draws),
+				"σ", "mean k", "measured OPT/E[ALG]", "Thm6 bound", "ratio ≤ bound?")
+			for _, load := range loads {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(10000*load)))
+				row, err := measureRatio(draws, func(int) (*setsystem.Instance, error) {
+					return uniformLoadStrict(rng, load)
+				}, setsystem.Theorem6Bound, nil)
+				if err != nil {
+					return err
+				}
+				tbl.AddRow(load, f2(row.st.KMean), f2(row.ratio), f2(row.bound),
+					check(row.ratio <= row.bound+1e-9))
+			}
+			return tbl.Render(w)
+		},
+	}
+}
+
+// uniformLoadStrict draws Uniform instances until one has strictly uniform
+// element load (the generator pads untouched sets with load-1 elements,
+// which would break Theorem 6's hypothesis).
+func uniformLoadStrict(rng *rand.Rand, load int) (*setsystem.Instance, error) {
+	for attempt := 0; attempt < 200; attempt++ {
+		inst, err := workload.Uniform(workload.UniformConfig{M: 15, N: 40, Load: load}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := setsystem.UniformLoad(inst); ok {
+			return inst, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: could not draw a uniform-load instance with σ=%d", load)
+}

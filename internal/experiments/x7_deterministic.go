@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/offline"
+	"repro/internal/stats"
+)
+
+// expX7 reproduces Theorem 3 and its proof construction: the adaptive
+// adversary forces every deterministic algorithm to complete at most one
+// set while certifying an offline packing of σ^(k−1) disjoint completable
+// sets — a competitive ratio of exactly σ^(k−1) = σmax^(kmax−1).
+func expX7() Experiment {
+	return Experiment{
+		ID:    "X7",
+		Title: "Theorem 3 — deterministic lower bound σ^(k−1) (adaptive adversary)",
+		Claim: "every deterministic algorithm: ALG ≤ 1 while OPT ≥ σ^(k−1)",
+		Run: func(cfg Config, w io.Writer) error {
+			type params struct{ sigma, k int }
+			sweep := []params{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}, {4, 3}, {5, 3}}
+			if cfg.Quick {
+				sweep = []params{{2, 2}, {3, 2}, {2, 3}}
+			}
+			tbl := stats.NewTable(
+				"Theorem 3 duels (unweighted, unit capacity, m = σ^k sets of size k)",
+				"σ", "k", "algorithm", "ALG", "certified OPT", "exact OPT", "ratio", "σ^(k−1)", "ratio ≥ bound?")
+			for _, p := range sweep {
+				want := 1
+				for i := 0; i < p.k-1; i++ {
+					want *= p.sigma
+				}
+				for _, alg := range core.Baselines() {
+					res, inst, certOPT, err := lowerbound.RunDuel(p.sigma, p.k, alg)
+					if err != nil {
+						return err
+					}
+					exactStr := "-"
+					optVal := float64(certOPT)
+					if inst.NumSets() <= 256 {
+						if sol, err := offline.Exact(inst); err == nil {
+							exactStr = f1(sol.Weight)
+							optVal = sol.Weight
+						}
+					}
+					alg_ := res.Benefit
+					if alg_ < 1 {
+						alg_ = 1 // ratio convention: ALG ≥ 1 slot for 0-benefit runs
+					}
+					ratio := optVal / alg_
+					tbl.AddRow(p.sigma, p.k, alg.Name(), f1(res.Benefit), certOPT, exactStr,
+						f1(ratio), want, check(ratio >= float64(want)-1e-9 && res.Benefit <= 1))
+				}
+			}
+			if err := tbl.Render(w); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintln(w, "\n(ALG ≤ 1 by the phase construction; OPT certified by the"+
+				" recorded phase-1 survivors, cross-checked with branch-and-bound where feasible.)")
+			return err
+		},
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hashpr"
+	"repro/internal/offline"
+	"repro/internal/router"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// expX9 reproduces the paper's motivating scenario (Section 1): video
+// frames fragmented into packets squeezed through a bottleneck link.
+// It compares the goodput (completed frame weight) of randPr against the
+// deterministic router policies and an offline OPT reference.
+func expX9() Experiment {
+	return Experiment{
+		ID:    "X9",
+		Title: "Video over a bottleneck router (Section 1 motivation)",
+		Claim: "randPr beats size-oblivious policies (taildrop, uniform random) on bursty traffic; weight-greedy heuristics can win on benign traces but have no worst-case guarantee (see X7)",
+		Run: func(cfg Config, w io.Writer) error {
+			seeds := cfg.trials(20)
+			sweeps := []struct {
+				streams, frames int
+			}{{4, 12}, {8, 12}, {12, 12}}
+			if cfg.Quick {
+				sweeps = sweeps[:1]
+				seeds = 5
+			}
+
+			gen := func(sw struct{ streams, frames int }, rng *rand.Rand) (*workload.VideoInstance, error) {
+				return workload.Video(workload.VideoConfig{
+					Streams: sw.streams, FramesPerStream: sw.frames, Jitter: 3,
+				}, rng)
+			}
+			genBursty := func(sw struct{ streams, frames int }, rng *rand.Rand) (*workload.VideoInstance, error) {
+				return workload.Bursty(workload.BurstyConfig{
+					Streams: sw.streams, Frames: sw.frames, OnProb: 0.15, OffProb: 0.4,
+				}, rng)
+			}
+			type sweepRow struct {
+				label string
+				sw    struct{ streams, frames int }
+				gen   func(struct{ streams, frames int }, *rand.Rand) (*workload.VideoInstance, error)
+			}
+			var rows []sweepRow
+			for _, sw := range sweeps {
+				rows = append(rows, sweepRow{
+					label: fmt.Sprintf("Video goodput: %d streams × %d frames, jittered, link capacity 1 (%d seeds)",
+						sw.streams, sw.frames, seeds),
+					sw: sw, gen: gen,
+				})
+			}
+			// Markov-modulated on/off sources: deeper bursts, the regime
+			// the paper's introduction worries about.
+			rows = append(rows, sweepRow{
+				label: fmt.Sprintf("Video goodput: 8 on/off bursty streams × 12 frames (%d seeds)", seeds),
+				sw:    struct{ streams, frames int }{8, 12},
+				gen:   genBursty,
+			})
+
+			for _, row := range rows {
+				sw := row.sw
+				tbl := stats.NewTable(row.label,
+					"policy", "mean weight delivered", "mean frames", "% of OPT bound")
+
+				accW := make(map[string]*stats.Accumulator)
+				accF := make(map[string]*stats.Accumulator)
+				var optAcc stats.Accumulator
+				var policyNames []string
+				for _, p := range router.Policies() {
+					accW[p.Name()] = &stats.Accumulator{}
+					accF[p.Name()] = &stats.Accumulator{}
+					policyNames = append(policyNames, p.Name())
+				}
+
+				for s := 0; s < seeds; s++ {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
+					vi, err := row.gen(sw, rng)
+					if err != nil {
+						return err
+					}
+					bound, _, err := offline.BestUpperBound(vi.Inst, offline.Options{MaxNodes: 2_000_000})
+					if err != nil {
+						return err
+					}
+					optAcc.Add(bound)
+					for _, p := range router.Policies() {
+						rep, err := router.Simulate(vi, p, rand.New(rand.NewSource(cfg.Seed+int64(1000+s))))
+						if err != nil {
+							return err
+						}
+						accW[p.Name()].Add(rep.WeightDelivered)
+						accF[p.Name()].Add(float64(rep.FramesDelivered))
+					}
+				}
+				for _, name := range policyNames {
+					pct := 0.0
+					if optAcc.Mean() > 0 {
+						pct = 100 * accW[name].Mean() / optAcc.Mean()
+					}
+					tbl.AddRow(name, f2(accW[name].Mean()), f2(accF[name].Mean()), f1(pct))
+				}
+				if err := tbl.Render(w); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// expX10 reproduces the multi-hop scenario (Section 1): packets crossing a
+// line of bounded-capacity switches, each independently running the
+// hash-priority rule. The real network (drops propagate) is compared to
+// the abstract OSP run the analysis bounds, plus a FIFO baseline.
+func expX10() Experiment {
+	return Experiment{
+		ID:    "X10",
+		Title: "Multi-hop scheduling on a switch line (distributed randPr)",
+		Claim: "coordination-free hash priorities complete multi-hop tasks; OSP analysis is a conservative bound for the real network",
+		Run: func(cfg Config, w io.Writer) error {
+			seeds := cfg.trials(20)
+			loads := []int{60, 120, 240}
+			if cfg.Quick {
+				loads = loads[:1]
+				seeds = 5
+			}
+			tbl := stats.NewTable(
+				fmt.Sprintf("Multi-hop line, 8 switches, horizon 20 (%d seeds/row)", seeds),
+				"packets", "network randPr", "abstract OSP randPr", "greedyFirstListed", "network ≥ abstract?")
+			for _, packets := range loads {
+				var netAcc, absAcc, fifoAcc stats.Accumulator
+				okAll := true
+				for s := 0; s < seeds; s++ {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(packets*100+s)))
+					mi, err := workload.Multihop(workload.MultihopConfig{
+						Hops: 8, Packets: packets, Horizon: 20,
+					}, rng)
+					if err != nil {
+						return err
+					}
+					network, abstract, err := router.SimulateMultihop(mi, hashpr.Mixer{Seed: uint64(cfg.Seed) + uint64(s)})
+					if err != nil {
+						return err
+					}
+					res, err := core.Run(mi.Inst, &core.GreedyFirstListed{}, nil)
+					if err != nil {
+						return err
+					}
+					netAcc.Add(network.WeightDelivered)
+					absAcc.Add(abstract.WeightDelivered)
+					fifoAcc.Add(res.Benefit)
+					if network.WeightDelivered < abstract.WeightDelivered {
+						okAll = false
+					}
+				}
+				tbl.AddRow(packets, f2(netAcc.Mean()), f2(absAcc.Mean()), f2(fifoAcc.Mean()), check(okAll))
+			}
+			return tbl.Render(w)
+		},
+	}
+}

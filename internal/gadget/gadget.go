@@ -1,0 +1,129 @@
+// Package gadget implements the (M,N)-gadgets of Section 4.2.1 of the
+// paper: combinatorial designs reminiscent of affine planes, used to build
+// the randomized lower-bound distribution of Lemma 9.
+//
+// An (M,N)-gadget, for N a prime power and M ≤ N, consists of M·N items
+// identified with pairs (i,j) ∈ F_M × F where F is a field of cardinality
+// N and F_M ⊆ F has cardinality M. Its lines are
+//
+//	L_{a,b} = {(i, j) : j = a·i + b}   for a, b ∈ F   (N² affine lines, M items each)
+//	L_{∞,c} = {c} × F                  for c ∈ F_M     (M row lines, N items each)
+//
+// In the OSP reduction, items are sets and lines are elements: applying the
+// gadget to a collection of M·N sets under a bijection generates the
+// element arrivals, first all affine lines (a = 0..N−1, b = 0..N−1), then —
+// unless the application is "without the rows" — the M row lines.
+//
+// Key properties (Propositions 1–2, property-tested in this package):
+// items in distinct rows share exactly one affine line; items in the same
+// row share exactly one row line and no affine line; every item lies on
+// exactly N affine lines (one per slope) and one row line.
+package gadget
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// ErrBadShape is returned when M or N are invalid (need 1 ≤ M ≤ N, N a
+// prime power).
+var ErrBadShape = errors.New("gadget: need 1 <= M <= N with N a prime power")
+
+// Item is a gadget item: a (row, column) pair with Row ∈ [0,M) and
+// Col ∈ [0,N), identifying one set of the collection the gadget is applied
+// to.
+type Item struct {
+	Row int
+	Col int
+}
+
+// Gadget is an (M,N)-gadget over GF(N). It is immutable after construction.
+type Gadget struct {
+	m, n  int
+	field *gf.Field
+}
+
+// New constructs an (M,N)-gadget. F_M is taken to be the field elements
+// with encodings 0..M−1.
+func New(m, n int) (*Gadget, error) {
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("%w: M=%d, N=%d", ErrBadShape, m, n)
+	}
+	f, err := gf.NewField(n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: N=%d: %v", ErrBadShape, n, err)
+	}
+	return &Gadget{m: m, n: n, field: f}, nil
+}
+
+// M returns the number of rows (|F_M|).
+func (g *Gadget) M() int { return g.m }
+
+// N returns the field order (number of columns).
+func (g *Gadget) N() int { return g.n }
+
+// NumItems returns M·N.
+func (g *Gadget) NumItems() int { return g.m * g.n }
+
+// NumAffineLines returns N², the number of lines L_{a,b}.
+func (g *Gadget) NumAffineLines() int { return g.n * g.n }
+
+// AffineLine returns the items of L_{a,b} = {(i, a·i+b) : i ∈ F_M}, for
+// field encodings a, b ∈ [0,N). The result has exactly M items, one per
+// row.
+func (g *Gadget) AffineLine(a, b int) []Item {
+	items := make([]Item, g.m)
+	for i := 0; i < g.m; i++ {
+		j := g.field.Add(g.field.Mul(a, i), b)
+		items[i] = Item{Row: i, Col: j}
+	}
+	return items
+}
+
+// RowLine returns the items of L_{∞,c} = {c} × F for c ∈ [0,M). The result
+// has exactly N items.
+func (g *Gadget) RowLine(c int) []Item {
+	items := make([]Item, g.n)
+	for j := 0; j < g.n; j++ {
+		items[j] = Item{Row: c, Col: j}
+	}
+	return items
+}
+
+// VisitLines calls emit for every line of the gadget in the paper's
+// application order: the N² affine lines (outer loop over slope a, inner
+// over intercept b), then, if withRows is true, the M row lines. The slice
+// passed to emit is reused only by the caller; each call receives freshly
+// allocated items.
+func (g *Gadget) VisitLines(withRows bool, emit func(line []Item)) {
+	for a := 0; a < g.n; a++ {
+		for b := 0; b < g.n; b++ {
+			emit(g.AffineLine(a, b))
+		}
+	}
+	if withRows {
+		for c := 0; c < g.m; c++ {
+			emit(g.RowLine(c))
+		}
+	}
+}
+
+// LinesThrough returns how many affine lines pass through both (i,j) and
+// (i2,j2). By Proposition 1 this is exactly 1 when i ≠ i2 and 0 when
+// i = i2 with j ≠ j2. Exposed for tests and for certifying lower-bound
+// instances.
+func (g *Gadget) LinesThrough(p, q Item) int {
+	count := 0
+	for a := 0; a < g.n; a++ {
+		// (i,j) on L_{a,b} iff b = j − a·i; both points on the same line
+		// iff the implied intercepts agree.
+		b1 := g.field.Sub(p.Col, g.field.Mul(a, p.Row))
+		b2 := g.field.Sub(q.Col, g.field.Mul(a, q.Row))
+		if b1 == b2 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,219 @@
+package gadget
+
+import (
+	"errors"
+	"testing"
+)
+
+// shapes covers every (M,N) combination the Lemma 9 construction uses for
+// small ℓ: (ℓ,ℓ), (ℓ,ℓ²), (ℓ²−ℓ,ℓ²).
+var shapes = []struct{ m, n int }{
+	{2, 2}, {3, 3}, {4, 4}, {5, 5},
+	{2, 4}, {3, 9}, {4, 16}, {5, 25},
+	{2, 4}, {6, 9}, {12, 16}, {20, 25},
+	{1, 7}, {7, 7}, {3, 8},
+}
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	cases := []struct{ m, n int }{
+		{0, 5}, {-1, 5}, {6, 5}, {2, 6}, {2, 0}, {3, 12},
+	}
+	for _, c := range cases {
+		if _, err := New(c.m, c.n); !errors.Is(err, ErrBadShape) {
+			t.Errorf("New(%d,%d) err = %v, want ErrBadShape", c.m, c.n, err)
+		}
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	g, err := New(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 || g.N() != 9 || g.NumItems() != 27 || g.NumAffineLines() != 81 {
+		t.Errorf("dims: M=%d N=%d items=%d affine=%d", g.M(), g.N(), g.NumItems(), g.NumAffineLines())
+	}
+}
+
+func TestAffineLineShape(t *testing.T) {
+	for _, s := range shapes {
+		g, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", s.m, s.n, err)
+		}
+		for a := 0; a < s.n; a++ {
+			for b := 0; b < s.n; b++ {
+				line := g.AffineLine(a, b)
+				if len(line) != s.m {
+					t.Fatalf("(%d,%d)-gadget: |L_{%d,%d}| = %d, want %d", s.m, s.n, a, b, len(line), s.m)
+				}
+				seenRow := make(map[int]bool, s.m)
+				for _, it := range line {
+					if it.Row < 0 || it.Row >= s.m || it.Col < 0 || it.Col >= s.n {
+						t.Fatalf("item %v out of range", it)
+					}
+					if seenRow[it.Row] {
+						t.Fatalf("L_{%d,%d} repeats row %d", a, b, it.Row)
+					}
+					seenRow[it.Row] = true
+				}
+			}
+		}
+	}
+}
+
+func TestRowLineShape(t *testing.T) {
+	g, _ := New(4, 16)
+	for c := 0; c < 4; c++ {
+		line := g.RowLine(c)
+		if len(line) != 16 {
+			t.Fatalf("|L_∞,%d| = %d, want 16", c, len(line))
+		}
+		for j, it := range line {
+			if it.Row != c || it.Col != j {
+				t.Fatalf("RowLine(%d)[%d] = %v", c, j, it)
+			}
+		}
+	}
+}
+
+// Proposition 1: two items in different rows lie on exactly one common
+// affine line; two items in the same row on none.
+func TestProposition1(t *testing.T) {
+	for _, s := range shapes {
+		if s.m*s.n > 300 { // keep the quadratic pair scan cheap
+			continue
+		}
+		g, _ := New(s.m, s.n)
+		for i1 := 0; i1 < s.m; i1++ {
+			for j1 := 0; j1 < s.n; j1++ {
+				for i2 := 0; i2 < s.m; i2++ {
+					for j2 := 0; j2 < s.n; j2++ {
+						if i1 == i2 && j1 == j2 {
+							continue
+						}
+						got := g.LinesThrough(Item{i1, j1}, Item{i2, j2})
+						want := 1
+						if i1 == i2 {
+							want = 0
+						}
+						if got != want {
+							t.Fatalf("(%d,%d)-gadget: LinesThrough((%d,%d),(%d,%d)) = %d, want %d",
+								s.m, s.n, i1, j1, i2, j2, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Proposition 2: every item lies on exactly one line per slope a (hence N
+// affine lines) and exactly one row line.
+func TestProposition2(t *testing.T) {
+	for _, s := range shapes {
+		g, _ := New(s.m, s.n)
+		counts := make(map[Item]int)
+		g.VisitLines(true, func(line []Item) {
+			for _, it := range line {
+				counts[it]++
+			}
+		})
+		if len(counts) != s.m*s.n {
+			t.Fatalf("(%d,%d)-gadget: %d distinct items touched, want %d", s.m, s.n, len(counts), s.m*s.n)
+		}
+		for it, c := range counts {
+			if c != s.n+1 {
+				t.Fatalf("(%d,%d)-gadget: item %v on %d lines, want N+1 = %d", s.m, s.n, it, c, s.n+1)
+			}
+		}
+	}
+}
+
+// Lemma 8 (without rows): N² lines of load M; each item on exactly N lines.
+func TestLemma8WithoutRows(t *testing.T) {
+	for _, s := range shapes {
+		g, _ := New(s.m, s.n)
+		var lines int
+		counts := make(map[Item]int)
+		g.VisitLines(false, func(line []Item) {
+			lines++
+			if len(line) != s.m {
+				t.Fatalf("affine line of size %d, want %d", len(line), s.m)
+			}
+			for _, it := range line {
+				counts[it]++
+			}
+		})
+		if lines != s.n*s.n {
+			t.Fatalf("(%d,%d)-gadget: %d lines, want %d", s.m, s.n, lines, s.n*s.n)
+		}
+		for it, c := range counts {
+			if c != s.n {
+				t.Fatalf("item %v on %d affine lines, want %d", it, c, s.n)
+			}
+		}
+	}
+}
+
+// Lemma 8 (with rows): N²+M lines; after a full application any two items
+// in the collection intersect (share a line), so a feasible packing keeps
+// at most one item.
+func TestLemma8FullIntersection(t *testing.T) {
+	g, _ := New(3, 4) // 12 items: small enough for the full pairwise check
+	onLine := make(map[Item][]int)
+	id := 0
+	g.VisitLines(true, func(line []Item) {
+		for _, it := range line {
+			onLine[it] = append(onLine[it], id)
+		}
+		id++
+	})
+	items := make([]Item, 0, 12)
+	for it := range onLine {
+		items = append(items, it)
+	}
+	for x := 0; x < len(items); x++ {
+		for y := x + 1; y < len(items); y++ {
+			if !shareLine(onLine[items[x]], onLine[items[y]]) {
+				t.Fatalf("items %v and %v share no line in full application", items[x], items[y])
+			}
+		}
+	}
+}
+
+func shareLine(a, b []int) bool {
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, y := range b {
+		if seen[y] {
+			return true
+		}
+	}
+	return false
+}
+
+// Without the rows, items in the same row never intersect — this is what
+// lets OPT keep a whole row alive (the proof of Lemma 9 relies on it).
+func TestSameRowDisjointWithoutRows(t *testing.T) {
+	g, _ := New(4, 5)
+	onLine := make(map[Item][]int)
+	id := 0
+	g.VisitLines(false, func(line []Item) {
+		for _, it := range line {
+			onLine[it] = append(onLine[it], id)
+		}
+		id++
+	})
+	for row := 0; row < 4; row++ {
+		for c1 := 0; c1 < 5; c1++ {
+			for c2 := c1 + 1; c2 < 5; c2++ {
+				if shareLine(onLine[Item{row, c1}], onLine[Item{row, c2}]) {
+					t.Fatalf("same-row items (%d,%d),(%d,%d) share an affine line", row, c1, row, c2)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package genpack implements the first open problem of the paper's
+// Section 5: generalizing OSP "to arbitrary packing problems, where the
+// entries in the matrix are arbitrary non-negative integers". An element
+// u arrives with capacity b(u) and a demand a(u,S) ≥ 1 for every set S
+// containing it; the algorithm admits a subset of the demanding sets
+// whose demands sum to at most b(u). A set pays its weight only if it is
+// admitted at every element it demands. OSP is the special case
+// a(u,S) = 1.
+//
+// In the systems reading, demands are packet sizes: a frame's slot-u
+// fragment occupies a(u,S) units of the link's b(u)-unit budget.
+//
+// The package mirrors the core engine in miniature: a streaming runner
+// with validation, the natural generalization of randPr (admit sets in
+// R_w-priority order while they fit — a priority-ordered knapsack), two
+// greedy baselines, an exact branch-and-bound optimum, and a random
+// instance generator. No competitive bound is proven for this setting in
+// the paper; the X15 experiment measures how the randPr recipe actually
+// scales here.
+package genpack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/setsystem"
+)
+
+// Demand is one entry of the packing matrix: set Set requests Amount
+// units of the arriving element's capacity.
+type Demand struct {
+	Set    setsystem.SetID
+	Amount int
+}
+
+// Element is one online arrival of the generalized problem.
+type Element struct {
+	// Demands lists the requesting sets in increasing SetID order.
+	Demands []Demand
+	// Capacity is b(u) ≥ 1.
+	Capacity int
+}
+
+// Instance is a generalized packing instance.
+type Instance struct {
+	Weights  []float64
+	Sizes    []int // number of elements each set demands
+	Elements []Element
+}
+
+// NumSets returns the number of sets.
+func (in *Instance) NumSets() int { return len(in.Weights) }
+
+// NumElements returns the number of elements.
+func (in *Instance) NumElements() int { return len(in.Elements) }
+
+// TotalWeight returns the sum of set weights.
+func (in *Instance) TotalWeight() float64 {
+	var t float64
+	for _, w := range in.Weights {
+		t += w
+	}
+	return t
+}
+
+// Errors reported by validation and the runner.
+var (
+	ErrInvalid        = errors.New("genpack: invalid instance")
+	ErrChoseNonDemand = errors.New("genpack: algorithm admitted a set not demanding the element")
+	ErrOverCapacity   = errors.New("genpack: admitted demands exceed element capacity")
+)
+
+// Validate checks structural invariants.
+func (in *Instance) Validate() error {
+	counts := make([]int, in.NumSets())
+	for j, e := range in.Elements {
+		if e.Capacity < 1 {
+			return fmt.Errorf("%w: element %d capacity %d", ErrInvalid, j, e.Capacity)
+		}
+		prev := setsystem.SetID(-1)
+		for _, d := range e.Demands {
+			if d.Set <= prev || int(d.Set) >= in.NumSets() {
+				return fmt.Errorf("%w: element %d demand order/range", ErrInvalid, j)
+			}
+			if d.Amount < 1 {
+				return fmt.Errorf("%w: element %d demand amount %d", ErrInvalid, j, d.Amount)
+			}
+			prev = d.Set
+			counts[d.Set]++
+		}
+	}
+	for i, c := range counts {
+		if c != in.Sizes[i] {
+			return fmt.Errorf("%w: set %d declared %d elements, has %d", ErrInvalid, i, in.Sizes[i], c)
+		}
+	}
+	return nil
+}
+
+// Algorithm is an online algorithm for generalized packing.
+type Algorithm interface {
+	Name() string
+	Reset(weights []float64, sizes []int, rng *rand.Rand) error
+	// Admit returns the sets to admit; their demands must fit within
+	// e.Capacity.
+	Admit(e Element, active func(setsystem.SetID) bool) []setsystem.SetID
+}
+
+// Result summarizes a run.
+type Result struct {
+	Completed []setsystem.SetID
+	Benefit   float64
+}
+
+// Run streams the instance through the algorithm, enforcing capacity
+// feasibility, and returns the completed sets.
+func Run(in *Instance, alg Algorithm, rng *rand.Rand) (*Result, error) {
+	if err := alg.Reset(in.Weights, in.Sizes, rng); err != nil {
+		return nil, err
+	}
+	arrived := make([]int, in.NumSets())
+	admitted := make([]int, in.NumSets())
+	active := func(s setsystem.SetID) bool { return arrived[s] == admitted[s] }
+
+	for j, e := range in.Elements {
+		choice := alg.Admit(e, active)
+		total := 0
+		seen := make(map[setsystem.SetID]bool, len(choice))
+		for _, s := range choice {
+			amt, ok := demandOf(e, s)
+			if !ok {
+				return nil, fmt.Errorf("%w: element %d, set %d", ErrChoseNonDemand, j, s)
+			}
+			if seen[s] {
+				return nil, fmt.Errorf("genpack: element %d, set %d admitted twice", j, s)
+			}
+			seen[s] = true
+			total += amt
+		}
+		if total > e.Capacity {
+			return nil, fmt.Errorf("%w: element %d, used %d of %d", ErrOverCapacity, j, total, e.Capacity)
+		}
+		for _, d := range e.Demands {
+			arrived[d.Set]++
+		}
+		for _, s := range choice {
+			admitted[s]++
+		}
+	}
+	res := &Result{}
+	for i := range in.Weights {
+		if arrived[i] == admitted[i] && arrived[i] == in.Sizes[i] {
+			res.Completed = append(res.Completed, setsystem.SetID(i))
+			res.Benefit += in.Weights[i]
+		}
+	}
+	return res, nil
+}
+
+func demandOf(e Element, s setsystem.SetID) (int, bool) {
+	lo, hi := 0, len(e.Demands)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case e.Demands[mid].Set < s:
+			lo = mid + 1
+		case e.Demands[mid].Set > s:
+			hi = mid
+		default:
+			return e.Demands[mid].Amount, true
+		}
+	}
+	return 0, false
+}
+
+// RandPr generalizes the paper's algorithm: fixed R_w priorities; each
+// element admits sets in decreasing priority order while their demands
+// still fit — a priority-ordered knapsack heuristic.
+type RandPr struct {
+	prio []float64
+	buf  []setsystem.SetID
+}
+
+var _ Algorithm = (*RandPr)(nil)
+
+// Name implements Algorithm.
+func (a *RandPr) Name() string { return "genRandPr" }
+
+// Reset implements Algorithm.
+func (a *RandPr) Reset(weights []float64, _ []int, rng *rand.Rand) error {
+	if rng == nil {
+		return errors.New("genpack: genRandPr needs a random source")
+	}
+	a.prio = make([]float64, len(weights))
+	for i, w := range weights {
+		a.prio[i] = dist.Sample(rng, w)
+	}
+	return nil
+}
+
+// Admit implements Algorithm.
+func (a *RandPr) Admit(e Element, _ func(setsystem.SetID) bool) []setsystem.SetID {
+	return admitByScore(e, &a.buf, func(s setsystem.SetID) float64 { return a.prio[s] })
+}
+
+// GreedyWeight admits still-completable sets in decreasing weight order
+// while they fit.
+type GreedyWeight struct {
+	weights []float64
+	buf     []setsystem.SetID
+}
+
+var _ Algorithm = (*GreedyWeight)(nil)
+
+// Name implements Algorithm.
+func (a *GreedyWeight) Name() string { return "genGreedyWeight" }
+
+// Reset implements Algorithm.
+func (a *GreedyWeight) Reset(weights []float64, _ []int, _ *rand.Rand) error {
+	a.weights = weights
+	return nil
+}
+
+// Admit implements Algorithm.
+func (a *GreedyWeight) Admit(e Element, active func(setsystem.SetID) bool) []setsystem.SetID {
+	return admitActiveByScore(e, &a.buf, active, func(s setsystem.SetID) float64 { return a.weights[s] })
+}
+
+// GreedySmallDemand admits still-completable sets in increasing demand
+// order (fit as many as possible).
+type GreedySmallDemand struct {
+	buf []setsystem.SetID
+}
+
+var _ Algorithm = (*GreedySmallDemand)(nil)
+
+// Name implements Algorithm.
+func (a *GreedySmallDemand) Name() string { return "genGreedySmallDemand" }
+
+// Reset implements Algorithm.
+func (a *GreedySmallDemand) Reset([]float64, []int, *rand.Rand) error { return nil }
+
+// Admit implements Algorithm.
+func (a *GreedySmallDemand) Admit(e Element, active func(setsystem.SetID) bool) []setsystem.SetID {
+	order := make([]int, len(e.Demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		dx, dy := e.Demands[order[x]], e.Demands[order[y]]
+		if dx.Amount != dy.Amount {
+			return dx.Amount < dy.Amount
+		}
+		return dx.Set < dy.Set
+	})
+	a.buf = a.buf[:0]
+	budget := e.Capacity
+	for _, i := range order {
+		d := e.Demands[i]
+		if !active(d.Set) || d.Amount > budget {
+			continue
+		}
+		budget -= d.Amount
+		a.buf = append(a.buf, d.Set)
+	}
+	return a.buf
+}
+
+// admitByScore admits demands in decreasing score order while they fit
+// (no active filter — faithful to randPr's obliviousness).
+func admitByScore(e Element, buf *[]setsystem.SetID, score func(setsystem.SetID) float64) []setsystem.SetID {
+	return admitActiveByScore(e, buf, func(setsystem.SetID) bool { return true }, score)
+}
+
+func admitActiveByScore(e Element, buf *[]setsystem.SetID, active func(setsystem.SetID) bool, score func(setsystem.SetID) float64) []setsystem.SetID {
+	order := make([]int, len(e.Demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		sx, sy := score(e.Demands[order[x]].Set), score(e.Demands[order[y]].Set)
+		if sx != sy {
+			return sx > sy
+		}
+		return e.Demands[order[x]].Set < e.Demands[order[y]].Set
+	})
+	out := (*buf)[:0]
+	budget := e.Capacity
+	for _, i := range order {
+		d := e.Demands[i]
+		if !active(d.Set) || d.Amount > budget {
+			continue
+		}
+		budget -= d.Amount
+		out = append(out, d.Set)
+	}
+	*buf = out
+	return out
+}
+
+// Exact computes the offline optimum by branch-and-bound with per-element
+// residual capacities.
+func Exact(in *Instance, maxNodes int64) (*Result, error) {
+	if maxNodes <= 0 {
+		maxNodes = 20_000_000
+	}
+	m := in.NumSets()
+	// memberDemands[i] lists (element, amount) pairs of set i.
+	type cell struct{ elem, amount int }
+	memberDemands := make([][]cell, m)
+	for j, e := range in.Elements {
+		for _, d := range e.Demands {
+			memberDemands[d.Set] = append(memberDemands[d.Set], cell{j, d.Amount})
+		}
+	}
+	order := make([]setsystem.SetID, m)
+	for i := range order {
+		order[i] = setsystem.SetID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := in.Weights[order[a]], in.Weights[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	suffix := make([]float64, m+1)
+	for i := m - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + in.Weights[order[i]]
+	}
+	residual := make([]int, in.NumElements())
+	for j, e := range in.Elements {
+		residual[j] = e.Capacity
+	}
+
+	var best float64
+	var bestSets []setsystem.SetID
+	var cur []setsystem.SetID
+	var nodes int64
+	var overBudget bool
+
+	var dfs func(idx int, w float64)
+	dfs = func(idx int, w float64) {
+		if overBudget {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			overBudget = true
+			return
+		}
+		if w > best {
+			best = w
+			bestSets = append(bestSets[:0], cur...)
+		}
+		if idx == m || w+suffix[idx] <= best {
+			return
+		}
+		s := order[idx]
+		fits := true
+		for _, c := range memberDemands[s] {
+			if residual[c.elem] < c.amount {
+				fits = false
+				break
+			}
+		}
+		if fits && in.Weights[s] > 0 {
+			for _, c := range memberDemands[s] {
+				residual[c.elem] -= c.amount
+			}
+			cur = append(cur, s)
+			dfs(idx+1, w+in.Weights[s])
+			cur = cur[:len(cur)-1]
+			for _, c := range memberDemands[s] {
+				residual[c.elem] += c.amount
+			}
+		}
+		dfs(idx+1, w)
+	}
+	dfs(0, 0)
+	if overBudget {
+		return nil, fmt.Errorf("genpack: node budget exhausted after %d nodes", nodes)
+	}
+	sort.Slice(bestSets, func(i, j int) bool { return bestSets[i] < bestSets[j] })
+	return &Result{Completed: bestSets, Benefit: best}, nil
+}
+
+// RandomConfig parameterizes the generator.
+type RandomConfig struct {
+	M         int // sets
+	N         int // elements
+	Load      int // demanding sets per element
+	MaxDemand int // demands drawn uniformly from [1, MaxDemand]
+	Capacity  int // element capacity
+	// WeightFn returns set weights; nil means unweighted.
+	WeightFn func(i int) float64
+}
+
+// Random generates a random generalized instance. Sets never demanded by
+// any sampled element get one private unit-demand element.
+func Random(cfg RandomConfig, rng *rand.Rand) (*Instance, error) {
+	if cfg.M < 1 || cfg.N < 1 || cfg.Load < 1 || cfg.MaxDemand < 1 || cfg.Capacity < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrInvalid, cfg)
+	}
+	load := cfg.Load
+	if load > cfg.M {
+		load = cfg.M
+	}
+	in := &Instance{
+		Weights: make([]float64, cfg.M),
+		Sizes:   make([]int, cfg.M),
+	}
+	for i := range in.Weights {
+		if cfg.WeightFn != nil {
+			in.Weights[i] = cfg.WeightFn(i)
+		} else {
+			in.Weights[i] = 1
+		}
+	}
+	touched := make([]bool, cfg.M)
+	for j := 0; j < cfg.N; j++ {
+		perm := rng.Perm(cfg.M)[:load]
+		sort.Ints(perm)
+		e := Element{Capacity: cfg.Capacity}
+		for _, p := range perm {
+			e.Demands = append(e.Demands, Demand{Set: setsystem.SetID(p), Amount: 1 + rng.Intn(cfg.MaxDemand)})
+			in.Sizes[p]++
+			touched[p] = true
+		}
+		in.Elements = append(in.Elements, e)
+	}
+	for i, tt := range touched {
+		if !tt {
+			in.Elements = append(in.Elements, Element{
+				Demands:  []Demand{{Set: setsystem.SetID(i), Amount: 1}},
+				Capacity: cfg.Capacity,
+			})
+			in.Sizes[i]++
+		}
+	}
+	return in, in.Validate()
+}

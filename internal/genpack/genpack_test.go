@@ -1,0 +1,238 @@
+package genpack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/setsystem"
+)
+
+// twoSetInstance: elements with mixed demands.
+// e0: A wants 2, B wants 1, capacity 2 → can admit A alone or B alone (A
+// uses the whole budget) — actually B(1) + nothing else of A(2) since 1+2>2.
+func twoSetInstance() *Instance {
+	return &Instance{
+		Weights: []float64{5, 3},
+		Sizes:   []int{2, 2},
+		Elements: []Element{
+			{Demands: []Demand{{0, 2}, {1, 1}}, Capacity: 2},
+			{Demands: []Demand{{0, 1}, {1, 1}}, Capacity: 2},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := twoSetInstance()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := twoSetInstance()
+	bad.Elements[0].Capacity = 0
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+	bad2 := twoSetInstance()
+	bad2.Elements[0].Demands[0].Amount = 0
+	if err := bad2.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+	bad3 := twoSetInstance()
+	bad3.Sizes[0] = 9
+	if err := bad3.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+	bad4 := twoSetInstance()
+	bad4.Elements[0].Demands = []Demand{{1, 1}, {0, 2}} // out of order
+	if err := bad4.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestRunGreedyWeight(t *testing.T) {
+	in := twoSetInstance()
+	res, err := Run(in, &GreedyWeight{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e0: admits A (weight 5, demand 2 fills capacity); B dies.
+	// e1: admits A (1 ≤ 2). A completes.
+	if res.Benefit != 5 || len(res.Completed) != 1 || res.Completed[0] != 0 {
+		t.Errorf("res = %+v, want A completed", res)
+	}
+}
+
+func TestRunGreedySmallDemand(t *testing.T) {
+	in := twoSetInstance()
+	res, err := Run(in, &GreedySmallDemand{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e0: B first (demand 1), then A does not fit (2 > 1 left): B admitted,
+	// A dies. e1: B admitted. B completes.
+	if res.Benefit != 3 || len(res.Completed) != 1 || res.Completed[0] != 1 {
+		t.Errorf("res = %+v, want B completed", res)
+	}
+}
+
+func TestRunRejectsMisbehavior(t *testing.T) {
+	in := twoSetInstance()
+	if _, err := Run(in, badAlg{choose: []setsystem.SetID{0, 1}}, nil); !errors.Is(err, ErrOverCapacity) {
+		t.Errorf("err = %v, want ErrOverCapacity", err)
+	}
+	in2 := &Instance{
+		Weights:  []float64{1, 1},
+		Sizes:    []int{1, 1},
+		Elements: []Element{{Demands: []Demand{{0, 1}}, Capacity: 1}, {Demands: []Demand{{1, 1}}, Capacity: 1}},
+	}
+	if _, err := Run(in2, badAlg{choose: []setsystem.SetID{1}}, nil); !errors.Is(err, ErrChoseNonDemand) {
+		t.Errorf("err = %v, want ErrChoseNonDemand", err)
+	}
+}
+
+type badAlg struct{ choose []setsystem.SetID }
+
+func (badAlg) Name() string                                                  { return "bad" }
+func (badAlg) Reset([]float64, []int, *rand.Rand) error                      { return nil }
+func (b badAlg) Admit(Element, func(setsystem.SetID) bool) []setsystem.SetID { return b.choose }
+
+func TestRandPrNeedsRNG(t *testing.T) {
+	in := twoSetInstance()
+	if _, err := Run(in, &RandPr{}, nil); err == nil {
+		t.Error("genRandPr without rng should error")
+	}
+}
+
+func TestRandPrValidRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, err := Random(RandomConfig{M: 12, N: 30, Load: 4, MaxDemand: 3, Capacity: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		res, err := Run(in, &RandPr{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Benefit < 0 || res.Benefit > in.TotalWeight() {
+			t.Fatalf("benefit %v out of range", res.Benefit)
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		in, err := Random(RandomConfig{
+			M: 3 + rng.Intn(8), N: 4 + rng.Intn(8),
+			Load: 2, MaxDemand: 3, Capacity: 3,
+			WeightFn: func(i int) float64 { return float64(1 + i%5) },
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Exact(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(in); math.Abs(sol.Benefit-want) > 1e-9 {
+			t.Fatalf("trial %d: Exact = %v, brute = %v", trial, sol.Benefit, want)
+		}
+	}
+}
+
+func bruteForce(in *Instance) float64 {
+	m := in.NumSets()
+	best := 0.0
+	for mask := 0; mask < 1<<m; mask++ {
+		ok := true
+		w := 0.0
+		for j, e := range in.Elements {
+			used := 0
+			for _, d := range e.Demands {
+				if mask&(1<<int(d.Set)) != 0 {
+					used += d.Amount
+				}
+			}
+			if used > e.Capacity {
+				ok = false
+				break
+			}
+			_ = j
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				w += in.Weights[i]
+			}
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestExactNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in, err := Random(RandomConfig{M: 14, N: 20, Load: 3, MaxDemand: 2, Capacity: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exact(in, 2); err == nil {
+		t.Error("tiny budget should exhaust")
+	}
+}
+
+func TestRandomRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, cfg := range []RandomConfig{
+		{M: 0, N: 1, Load: 1, MaxDemand: 1, Capacity: 1},
+		{M: 1, N: 0, Load: 1, MaxDemand: 1, Capacity: 1},
+		{M: 1, N: 1, Load: 0, MaxDemand: 1, Capacity: 1},
+		{M: 1, N: 1, Load: 1, MaxDemand: 0, Capacity: 1},
+		{M: 1, N: 1, Load: 1, MaxDemand: 1, Capacity: 0},
+	} {
+		if _, err := Random(cfg, rng); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Random(%+v) err = %v, want ErrInvalid", cfg, err)
+		}
+	}
+}
+
+// With unit demands the generalized model must agree with OSP: genRandPr's
+// admit rule degenerates to "top-b by priority".
+func TestUnitDemandDegeneratesToOSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in, err := Random(RandomConfig{M: 10, N: 25, Load: 4, MaxDemand: 1, Capacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, &RandPr{}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit < 0 || res.Benefit > in.TotalWeight() {
+		t.Fatalf("benefit %v out of range", res.Benefit)
+	}
+	// The exact optimum dominates the online run.
+	sol, err := Exact(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit > sol.Benefit+1e-9 {
+		t.Errorf("online %v beat the optimum %v", res.Benefit, sol.Benefit)
+	}
+}
+
+func TestDemandOfBinarySearch(t *testing.T) {
+	e := Element{Demands: []Demand{{1, 4}, {5, 2}, {9, 7}}}
+	if amt, ok := demandOf(e, 5); !ok || amt != 2 {
+		t.Errorf("demandOf(5) = %d,%v", amt, ok)
+	}
+	if _, ok := demandOf(e, 4); ok {
+		t.Error("demandOf(4) should miss")
+	}
+}

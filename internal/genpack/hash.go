@@ -1,0 +1,47 @@
+package genpack
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+)
+
+// HashRandPr is the distributed variant of the generalized algorithm:
+// priorities derive from a shared hash function exactly as in the
+// unit-demand case (Section 3.1 of the paper), so bounded-capacity servers
+// handling different elements of the same task admit consistently without
+// coordination.
+type HashRandPr struct {
+	// Hasher maps set identifiers to uniform [0,1) variates.
+	Hasher hashpr.UniformHasher
+
+	prio []float64
+	buf  []setsystem.SetID
+}
+
+var _ Algorithm = (*HashRandPr)(nil)
+
+// Name implements Algorithm.
+func (a *HashRandPr) Name() string { return "genHashRandPr" }
+
+// Reset implements Algorithm. The rng parameter is unused: all randomness
+// comes from the hasher.
+func (a *HashRandPr) Reset(weights []float64, _ []int, _ *rand.Rand) error {
+	if a.Hasher == nil {
+		return errors.New("genpack: genHashRandPr needs a Hasher")
+	}
+	a.prio = make([]float64, len(weights))
+	for i, w := range weights {
+		a.prio[i] = dist.FromUniform(a.Hasher.Uniform(uint64(i)), w)
+	}
+	return nil
+}
+
+// Admit implements Algorithm: sets in decreasing hash-priority order while
+// their demands fit.
+func (a *HashRandPr) Admit(e Element, _ func(setsystem.SetID) bool) []setsystem.SetID {
+	return admitByScore(e, &a.buf, func(s setsystem.SetID) float64 { return a.prio[s] })
+}

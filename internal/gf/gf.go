@@ -1,0 +1,297 @@
+// Package gf implements arithmetic in finite fields GF(p^m) of small order,
+// the algebraic substrate of the paper's (M,N)-gadgets (Section 4.2.1):
+// gadget lines are affine functions j = a·i + b over a field of cardinality
+// N, and the Lemma 9 construction needs fields of order ℓ and ℓ² for every
+// prime power ℓ.
+//
+// Field elements are represented as integers in [0, p^m), read as base-p
+// digit vectors: the integer Σ c_i·p^i stands for the polynomial
+// Σ c_i·x^i over GF(p), reduced modulo a monic irreducible polynomial of
+// degree m found by exhaustive search. For prime order (m = 1) the
+// arithmetic degenerates to ordinary modular arithmetic.
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotPrimePower is returned by NewField when the requested order is not
+// a prime power (or is < 2).
+var ErrNotPrimePower = errors.New("gf: order is not a prime power")
+
+// ErrDivByZero is returned by Inv and Div on a zero divisor.
+var ErrDivByZero = errors.New("gf: division by zero")
+
+// maxOrder bounds the supported field size; the gadget constructions use
+// tiny fields, and the exhaustive irreducibility search is only sensible
+// for small orders.
+const maxOrder = 1 << 20
+
+// Field is a finite field GF(p^m). It is immutable and safe for concurrent
+// use after construction.
+type Field struct {
+	p     int   // characteristic
+	m     int   // extension degree
+	order int   // p^m
+	irred []int // monic irreducible of degree m over GF(p); nil when m == 1
+	// expTab/logTab are discrete exp/log tables for fast Mul/Inv when the
+	// order is small enough; expTab has length 2(order−1) so products of
+	// logs index it without a modulo.
+	expTab []int
+	logTab []int
+}
+
+// FactorPrimePower returns (p, m) with q = p^m when q >= 2 is a prime
+// power, and ok = false otherwise.
+func FactorPrimePower(q int) (p, m int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	p = smallestPrimeFactor(q)
+	m = 0
+	for q > 1 {
+		if q%p != 0 {
+			return 0, 0, false
+		}
+		q /= p
+		m++
+	}
+	return p, m, true
+}
+
+func smallestPrimeFactor(q int) int {
+	if q%2 == 0 {
+		return 2
+	}
+	for d := 3; d*d <= q; d += 2 {
+		if q%d == 0 {
+			return d
+		}
+	}
+	return q
+}
+
+// NewField constructs GF(order). The order must be a prime power >= 2 (and
+// at most 2^20, far beyond what the gadget constructions need).
+func NewField(order int) (*Field, error) {
+	p, m, ok := FactorPrimePower(order)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotPrimePower, order)
+	}
+	if order > maxOrder {
+		return nil, fmt.Errorf("gf: order %d exceeds supported maximum %d", order, maxOrder)
+	}
+	f := &Field{p: p, m: m, order: order}
+	if m > 1 {
+		irr, err := findIrreducible(p, m)
+		if err != nil {
+			return nil, err
+		}
+		f.irred = irr
+	}
+	if err := f.buildTables(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Order returns p^m, the number of field elements.
+func (f *Field) Order() int { return f.order }
+
+// Char returns the characteristic p.
+func (f *Field) Char() int { return f.p }
+
+// Degree returns the extension degree m.
+func (f *Field) Degree() int { return f.m }
+
+// valid panics if a is not an element encoding; internal calls guarantee
+// range, so this only fires on misuse by callers.
+func (f *Field) valid(a int) {
+	if a < 0 || a >= f.order {
+		panic(fmt.Sprintf("gf: element %d out of range [0,%d)", a, f.order))
+	}
+}
+
+// Add returns a + b.
+func (f *Field) Add(a, b int) int {
+	f.valid(a)
+	f.valid(b)
+	if f.m == 1 {
+		s := a + b
+		if s >= f.p {
+			s -= f.p
+		}
+		return s
+	}
+	// Digit-wise addition base p.
+	res, mul := 0, 1
+	for i := 0; i < f.m; i++ {
+		d := a%f.p + b%f.p
+		if d >= f.p {
+			d -= f.p
+		}
+		res += d * mul
+		mul *= f.p
+		a /= f.p
+		b /= f.p
+	}
+	return res
+}
+
+// Neg returns −a.
+func (f *Field) Neg(a int) int {
+	f.valid(a)
+	if f.m == 1 {
+		if a == 0 {
+			return 0
+		}
+		return f.p - a
+	}
+	res, mul := 0, 1
+	for i := 0; i < f.m; i++ {
+		d := a % f.p
+		if d != 0 {
+			d = f.p - d
+		}
+		res += d * mul
+		mul *= f.p
+		a /= f.p
+	}
+	return res
+}
+
+// Sub returns a − b.
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// Mul returns a · b.
+func (f *Field) Mul(a, b int) int {
+	f.valid(a)
+	f.valid(b)
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.expTab[f.logTab[a]+f.logTab[b]]
+}
+
+// Inv returns the multiplicative inverse of a, or ErrDivByZero when a = 0.
+func (f *Field) Inv(a int) (int, error) {
+	f.valid(a)
+	if a == 0 {
+		return 0, ErrDivByZero
+	}
+	n := f.order - 1
+	return f.expTab[(n-f.logTab[a])%n], nil
+}
+
+// Div returns a / b, or ErrDivByZero when b = 0.
+func (f *Field) Div(a, b int) (int, error) {
+	inv, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return f.Mul(a, inv), nil
+}
+
+// Pow returns a^e for e >= 0 (with a^0 = 1, including 0^0 = 1).
+func (f *Field) Pow(a, e int) int {
+	f.valid(a)
+	if e == 0 {
+		return 1 % f.order
+	}
+	if a == 0 {
+		return 0
+	}
+	n := f.order - 1
+	return f.expTab[(f.logTab[a]*(e%n))%n]
+}
+
+// mulSlow multiplies via polynomial arithmetic; used to bootstrap the
+// exp/log tables.
+func (f *Field) mulSlow(a, b int) int {
+	if f.m == 1 {
+		return a * b % f.p
+	}
+	da := digits(a, f.p, f.m)
+	db := digits(b, f.p, f.m)
+	prod := make([]int, 2*f.m-1)
+	for i, ca := range da {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range db {
+			prod[i+j] = (prod[i+j] + ca*cb) % f.p
+		}
+	}
+	reduced := polyMod(prod, f.irred, f.p)
+	return undigits(reduced, f.p)
+}
+
+// buildTables finds a generator of the multiplicative group and fills the
+// discrete exp/log tables.
+func (f *Field) buildTables() error {
+	n := f.order - 1
+	f.expTab = make([]int, 2*n)
+	f.logTab = make([]int, f.order)
+	// Try candidate generators until one has full multiplicative order.
+	for g := 1; g < f.order; g++ {
+		if f.tryGenerator(g) {
+			return nil
+		}
+	}
+	return fmt.Errorf("gf: no generator found for order %d (internal error)", f.order)
+}
+
+func (f *Field) tryGenerator(g int) bool {
+	n := f.order - 1
+	seen := make([]bool, f.order)
+	x := 1
+	for i := 0; i < n; i++ {
+		if seen[x] {
+			return false // order of g divides i < n
+		}
+		seen[x] = true
+		f.expTab[i] = x
+		f.expTab[i+n] = x
+		f.logTab[x] = i
+		x = f.mulSlow(x, g)
+	}
+	return x == 1
+}
+
+// Elements returns all field elements in encoding order, 0..order−1.
+func (f *Field) Elements() []int {
+	es := make([]int, f.order)
+	for i := range es {
+		es[i] = i
+	}
+	return es
+}
+
+// String implements fmt.Stringer.
+func (f *Field) String() string {
+	if f.m == 1 {
+		return fmt.Sprintf("GF(%d)", f.p)
+	}
+	return fmt.Sprintf("GF(%d^%d)", f.p, f.m)
+}
+
+// digits expands a into m base-p digits, least significant first.
+func digits(a, p, m int) []int {
+	ds := make([]int, m)
+	for i := 0; i < m; i++ {
+		ds[i] = a % p
+		a /= p
+	}
+	return ds
+}
+
+// undigits packs base-p digits back into an integer.
+func undigits(ds []int, p int) int {
+	res, mul := 0, 1
+	for _, d := range ds {
+		res += d * mul
+		mul *= p
+	}
+	return res
+}

@@ -1,0 +1,265 @@
+package gf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorPrimePower(t *testing.T) {
+	cases := []struct {
+		q, p, m int
+		ok      bool
+	}{
+		{2, 2, 1, true}, {3, 3, 1, true}, {4, 2, 2, true},
+		{8, 2, 3, true}, {9, 3, 2, true}, {25, 5, 2, true},
+		{27, 3, 3, true}, {49, 7, 2, true}, {64, 2, 6, true},
+		{81, 3, 4, true}, {121, 11, 2, true},
+		{1, 0, 0, false}, {0, 0, 0, false}, {6, 0, 0, false},
+		{12, 0, 0, false}, {100, 0, 0, false}, {15, 0, 0, false},
+	}
+	for _, c := range cases {
+		p, m, ok := FactorPrimePower(c.q)
+		if ok != c.ok || (ok && (p != c.p || m != c.m)) {
+			t.Errorf("FactorPrimePower(%d) = (%d,%d,%v), want (%d,%d,%v)",
+				c.q, p, m, ok, c.p, c.m, c.ok)
+		}
+	}
+}
+
+func TestNewFieldRejectsNonPrimePowers(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 100} {
+		if _, err := NewField(q); !errors.Is(err, ErrNotPrimePower) {
+			t.Errorf("NewField(%d) err = %v, want ErrNotPrimePower", q, err)
+		}
+	}
+}
+
+// testOrders are all the field orders the gadget experiments use (ℓ and ℓ²
+// for ℓ ∈ {2,3,4,5,7,8,9,11,13,16}) plus a few extras.
+var testOrders = []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 49, 64, 81, 121, 169, 256}
+
+func fieldAxioms(t *testing.T, f *Field) {
+	t.Helper()
+	q := f.Order()
+	one := 1 % q
+	for a := 0; a < q; a++ {
+		if got := f.Add(a, 0); got != a {
+			t.Fatalf("%v: %d+0 = %d", f, a, got)
+		}
+		if got := f.Add(a, f.Neg(a)); got != 0 {
+			t.Fatalf("%v: %d + (−%d) = %d", f, a, a, got)
+		}
+		if got := f.Mul(a, one); got != a {
+			t.Fatalf("%v: %d·1 = %d", f, a, got)
+		}
+		if a != 0 {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("%v: Inv(%d): %v", f, a, err)
+			}
+			if got := f.Mul(a, inv); got != one {
+				t.Fatalf("%v: %d·%d = %d, want 1", f, a, inv, got)
+			}
+		}
+	}
+	// Commutativity, associativity, distributivity on all triples for small
+	// fields, sampled for larger ones.
+	step := 1
+	if q > 16 {
+		step = q / 11
+	}
+	for a := 0; a < q; a += step {
+		for b := 0; b < q; b += step {
+			if f.Add(a, b) != f.Add(b, a) {
+				t.Fatalf("%v: add not commutative at (%d,%d)", f, a, b)
+			}
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("%v: mul not commutative at (%d,%d)", f, a, b)
+			}
+			for c := 0; c < q; c += step {
+				if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+					t.Fatalf("%v: add not associative at (%d,%d,%d)", f, a, b, c)
+				}
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("%v: mul not associative at (%d,%d,%d)", f, a, b, c)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("%v: not distributive at (%d,%d,%d)", f, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsAllOrders(t *testing.T) {
+	for _, q := range testOrders {
+		f, err := NewField(q)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", q, err)
+		}
+		if f.Order() != q {
+			t.Fatalf("Order = %d, want %d", f.Order(), q)
+		}
+		fieldAxioms(t, f)
+	}
+}
+
+func TestInvDivByZero(t *testing.T) {
+	f, _ := NewField(9)
+	if _, err := f.Inv(0); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("Inv(0) err = %v, want ErrDivByZero", err)
+	}
+	if _, err := f.Div(5, 0); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("Div(5,0) err = %v, want ErrDivByZero", err)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	for _, q := range []int{7, 8, 9} {
+		f, _ := NewField(q)
+		for a := 0; a < q; a++ {
+			for b := 1; b < q; b++ {
+				d, err := f.Div(a, b)
+				if err != nil {
+					t.Fatalf("Div(%d,%d): %v", a, b, err)
+				}
+				if f.Mul(d, b) != a {
+					t.Fatalf("GF(%d): (%d/%d)·%d = %d, want %d", q, a, b, b, f.Mul(d, b), a)
+				}
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	f, _ := NewField(5)
+	if got := f.Pow(2, 0); got != 1 {
+		t.Errorf("2^0 = %d, want 1", got)
+	}
+	if got := f.Pow(2, 4); got != 1 { // Fermat: a^(q−1)=1
+		t.Errorf("2^4 mod 5 = %d, want 1", got)
+	}
+	if got := f.Pow(0, 3); got != 0 {
+		t.Errorf("0^3 = %d, want 0", got)
+	}
+	if got := f.Pow(3, 2); got != 4 {
+		t.Errorf("3^2 mod 5 = %d, want 4", got)
+	}
+	// Extension field: every nonzero a satisfies a^(q−1) = 1.
+	f9, _ := NewField(9)
+	for a := 1; a < 9; a++ {
+		if got := f9.Pow(a, 8); got != 1 {
+			t.Errorf("GF(9): %d^8 = %d, want 1", a, got)
+		}
+	}
+}
+
+// Multiplicative group is cyclic of order q−1: the exp table enumerates
+// every nonzero element exactly once.
+func TestExpTableBijective(t *testing.T) {
+	for _, q := range testOrders {
+		f, _ := NewField(q)
+		seen := make([]bool, q)
+		for i := 0; i < q-1; i++ {
+			x := f.expTab[i]
+			if x <= 0 || x >= q || seen[x] {
+				t.Fatalf("GF(%d): expTab[%d] = %d invalid or repeated", q, i, x)
+			}
+			seen[x] = true
+		}
+	}
+}
+
+func TestElements(t *testing.T) {
+	f, _ := NewField(8)
+	es := f.Elements()
+	if len(es) != 8 {
+		t.Fatalf("Elements len = %d, want 8", len(es))
+	}
+	for i, e := range es {
+		if e != i {
+			t.Fatalf("Elements[%d] = %d", i, e)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	f5, _ := NewField(5)
+	if got := f5.String(); got != "GF(5)" {
+		t.Errorf("String = %q, want GF(5)", got)
+	}
+	f9, _ := NewField(9)
+	if got := f9.String(); got != "GF(3^2)" {
+		t.Errorf("String = %q, want GF(3^2)", got)
+	}
+}
+
+func TestMulMatchesSlowPath(t *testing.T) {
+	for _, q := range []int{9, 16, 27, 64} {
+		f, _ := NewField(q)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				if fast, slow := f.Mul(a, b), f.mulSlow(a, b); fast != slow {
+					t.Fatalf("GF(%d): Mul(%d,%d) = %d, slow = %d", q, a, b, fast, slow)
+				}
+			}
+		}
+	}
+}
+
+func TestIrreducibleHasNoRoots(t *testing.T) {
+	// Sanity on the modulus: an irreducible of degree ≥ 2 has no roots in
+	// the base field.
+	for _, q := range []int{4, 8, 9, 25, 27} {
+		f, _ := NewField(q)
+		p := f.Char()
+		for r := 0; r < p; r++ {
+			// Evaluate irred at r over GF(p).
+			val, pw := 0, 1
+			for _, c := range f.irred {
+				val = (val + c*pw) % p
+				pw = pw * r % p
+			}
+			if val == 0 {
+				t.Errorf("GF(%d): irreducible %v has root %d", q, f.irred, r)
+			}
+		}
+	}
+}
+
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f, _ := NewField(49)
+	fn := func(a, b uint16) bool {
+		x, y := int(a)%49, int(b)%49
+		return f.Sub(f.Add(x, y), y) == x
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulDivRoundTrip(t *testing.T) {
+	f, _ := NewField(81)
+	fn := func(a, b uint16) bool {
+		x, y := int(a)%81, int(b)%81
+		if y == 0 {
+			return true
+		}
+		d, err := f.Div(f.Mul(x, y), y)
+		return err == nil && d == x
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidPanicsOutOfRange(t *testing.T) {
+	f, _ := NewField(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range element")
+		}
+	}()
+	f.Add(7, 1)
+}

@@ -1,0 +1,89 @@
+package gf
+
+import "fmt"
+
+// Polynomials over GF(p) are coefficient slices, least significant first.
+// These helpers exist to find and apply the irreducible modulus of an
+// extension field; they are not a general polynomial library.
+
+// polyDeg returns the degree of the polynomial, or −1 for the zero
+// polynomial.
+func polyDeg(a []int) int {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// polyMod reduces a modulo the monic polynomial mod over GF(p), returning
+// a remainder of degree < deg(mod).
+func polyMod(a, mod []int, p int) []int {
+	r := append([]int(nil), a...)
+	dm := polyDeg(mod)
+	for {
+		dr := polyDeg(r)
+		if dr < dm {
+			break
+		}
+		// mod is monic, so subtract r[dr] · x^(dr−dm) · mod.
+		c := r[dr]
+		shift := dr - dm
+		for i := 0; i <= dm; i++ {
+			r[i+shift] = ((r[i+shift]-c*mod[i])%p + p*p) % p
+		}
+	}
+	if dr := polyDeg(r); dr < 0 {
+		return []int{0}
+	}
+	return r[:polyDeg(r)+1]
+}
+
+// polyIsZero reports whether a is the zero polynomial.
+func polyIsZero(a []int) bool { return polyDeg(a) < 0 }
+
+// findIrreducible returns a monic irreducible polynomial of degree m over
+// GF(p) by exhaustive search. A monic polynomial of degree m is irreducible
+// iff no monic polynomial of degree in [1, m/2] divides it.
+func findIrreducible(p, m int) ([]int, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("gf: findIrreducible needs degree >= 2, got %d", m)
+	}
+	// Enumerate candidates: coefficients c_0..c_{m-1} ∈ GF(p), leading
+	// coefficient fixed to 1.
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= p
+	}
+	for code := 0; code < total; code++ {
+		cand := append(digits(code, p, m), 1) // monic, degree m
+		if isIrreducible(cand, p) {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible of degree %d over GF(%d) (internal error)", m, p)
+}
+
+// isIrreducible tests divisibility by every monic polynomial of degree
+// 1..deg/2.
+func isIrreducible(a []int, p int) bool {
+	deg := polyDeg(a)
+	if deg < 1 {
+		return false
+	}
+	// A polynomial with zero constant term is divisible by x (unless it IS x).
+	for d := 1; d <= deg/2; d++ {
+		count := 1
+		for i := 0; i < d; i++ {
+			count *= p
+		}
+		for code := 0; code < count; code++ {
+			div := append(digits(code, p, d), 1) // monic degree d
+			if polyIsZero(polyMod(a, div, p)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package gf
+
+import "testing"
+
+// GF(4) has a unique structure up to isomorphism. With elements encoded as
+// base-2 digit vectors over the irreducible x²+x+1 (the only degree-2
+// irreducible over GF(2)), the tables are fully determined:
+// 0, 1, α (=2), α+1 (=3) with α² = α+1.
+func TestGF4KnownTables(t *testing.T) {
+	f, err := NewField(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addTable := [4][4]int{
+		{0, 1, 2, 3},
+		{1, 0, 3, 2},
+		{2, 3, 0, 1},
+		{3, 2, 1, 0},
+	}
+	mulTable := [4][4]int{
+		{0, 0, 0, 0},
+		{0, 1, 2, 3},
+		{0, 2, 3, 1}, // α·α = α+1, α·(α+1) = α²+α = 1
+		{0, 3, 1, 2},
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if got := f.Add(a, b); got != addTable[a][b] {
+				t.Errorf("GF(4): %d+%d = %d, want %d", a, b, got, addTable[a][b])
+			}
+			if got := f.Mul(a, b); got != mulTable[a][b] {
+				t.Errorf("GF(4): %d·%d = %d, want %d", a, b, got, mulTable[a][b])
+			}
+		}
+	}
+}
+
+// GF(2): the trivial field — addition is XOR, multiplication AND.
+func TestGF2(t *testing.T) {
+	f, err := NewField(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if got := f.Add(a, b); got != a^b {
+				t.Errorf("GF(2): %d+%d = %d, want %d", a, b, got, a^b)
+			}
+			if got := f.Mul(a, b); got != a&b {
+				t.Errorf("GF(2): %d·%d = %d, want %d", a, b, got, a&b)
+			}
+		}
+	}
+}
+
+// Freshman's dream: (a+b)^p = a^p + b^p in characteristic p.
+func TestFrobeniusEndomorphism(t *testing.T) {
+	for _, q := range []int{9, 25, 27} {
+		f, err := NewField(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := f.Char()
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				lhs := f.Pow(f.Add(a, b), p)
+				rhs := f.Add(f.Pow(a, p), f.Pow(b, p))
+				if lhs != rhs {
+					t.Fatalf("GF(%d): (%d+%d)^%d = %d, want %d", q, a, b, p, lhs, rhs)
+				}
+			}
+		}
+	}
+}

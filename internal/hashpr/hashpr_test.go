@@ -1,0 +1,188 @@
+package hashpr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixerDeterministic(t *testing.T) {
+	m := Mixer{Seed: 42}
+	if m.Hash(7) != m.Hash(7) {
+		t.Error("Mixer.Hash not deterministic")
+	}
+	m2 := Mixer{Seed: 43}
+	if m.Hash(7) == m2.Hash(7) {
+		t.Error("different seeds should give different hashes (w.h.p.)")
+	}
+}
+
+func TestMixerUniformRange(t *testing.T) {
+	m := Mixer{Seed: 1}
+	for x := uint64(0); x < 10000; x++ {
+		u := m.Uniform(x)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform(%d) = %v out of [0,1)", x, u)
+		}
+	}
+}
+
+func TestMixerUniformity(t *testing.T) {
+	m := Mixer{Seed: 99}
+	const buckets, samples = 16, 160000
+	counts := make([]int, buckets)
+	for x := uint64(0); x < samples; x++ {
+		counts[int(m.Uniform(x)*buckets)]++
+	}
+	want := float64(samples) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d: %d, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestMixerAvalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 output bits on average.
+	m := Mixer{Seed: 7}
+	var totalFlips, trials int
+	for x := uint64(0); x < 2000; x++ {
+		h := m.Hash(x)
+		for bit := 0; bit < 64; bit += 7 {
+			h2 := m.Hash(x ^ (1 << bit))
+			totalFlips += popcount(h ^ h2)
+			trials++
+		}
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average = %v bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestMulmod61(t *testing.T) {
+	// Cross-check against big-number arithmetic via repeated addition for
+	// structured cases and against math/bits-free 128-bit multiply.
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {mersenne61 - 1, mersenne61 - 1},
+		{mersenne61 - 1, 2}, {1 << 60, 1 << 60}, {123456789, 987654321},
+	}
+	for _, c := range cases {
+		got := mulmod61(c.a, c.b)
+		want := slowMulMod(c.a, c.b)
+		if got != want {
+			t.Errorf("mulmod61(%d,%d) = %d, want %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+// slowMulMod computes a*b mod 2^61-1 via double-and-add (no overflow since
+// intermediate values stay below 2^62).
+func slowMulMod(a, b uint64) uint64 {
+	a %= mersenne61
+	var acc uint64
+	for b > 0 {
+		if b&1 == 1 {
+			acc = (acc + a) % mersenne61
+		}
+		a = (a + a) % mersenne61
+		b >>= 1
+	}
+	return acc
+}
+
+func TestMulmod61Property(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= mersenne61
+		b %= mersenne61
+		return mulmod61(a, b) == slowMulMod(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPolyFamilyRejectsLowDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{-1, 0, 1} {
+		if _, err := NewPolyFamily(d, rng); !errors.Is(err, ErrBadDegree) {
+			t.Errorf("NewPolyFamily(%d) err = %v, want ErrBadDegree", d, err)
+		}
+	}
+	pf, err := NewPolyFamily(4, rng)
+	if err != nil {
+		t.Fatalf("NewPolyFamily(4): %v", err)
+	}
+	if pf.Degree() != 4 {
+		t.Errorf("Degree = %d, want 4", pf.Degree())
+	}
+}
+
+func TestPolyFamilyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pf, _ := NewPolyFamily(3, rng)
+	if pf.Hash(12345) != pf.Hash(12345) {
+		t.Error("PolyFamily.Hash not deterministic")
+	}
+}
+
+// Pairwise independence: over random family members, the joint distribution
+// of (h(x), h(y)) for x≠y should factorize. We verify the correlation of
+// bucket indicators is near zero.
+func TestPolyFamilyPairwiseIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const trials = 40000
+	var bothLow, xLow, yLow int
+	for i := 0; i < trials; i++ {
+		pf, _ := NewPolyFamily(2, rng)
+		ux, uy := pf.Uniform(17), pf.Uniform(91)
+		if ux < 0.5 {
+			xLow++
+		}
+		if uy < 0.5 {
+			yLow++
+		}
+		if ux < 0.5 && uy < 0.5 {
+			bothLow++
+		}
+	}
+	px := float64(xLow) / trials
+	py := float64(yLow) / trials
+	pxy := float64(bothLow) / trials
+	if math.Abs(px-0.5) > 0.02 || math.Abs(py-0.5) > 0.02 {
+		t.Errorf("marginals: %v, %v want ~0.5", px, py)
+	}
+	if math.Abs(pxy-px*py) > 0.02 {
+		t.Errorf("joint %v != product %v: not pairwise independent", pxy, px*py)
+	}
+}
+
+func TestPolyFamilyUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pf, _ := NewPolyFamily(5, rng)
+	for x := uint64(0); x < 5000; x++ {
+		u := pf.Uniform(x)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform(%d) = %v out of [0,1)", x, u)
+		}
+	}
+}
+
+func TestHornerEvaluation(t *testing.T) {
+	// h(x) = 3 + 2x + x² at x=5 → 3+10+25 = 38.
+	pf := &PolyFamily{coeffs: []uint64{3, 2, 1}}
+	if got := pf.Hash(5); got != 38 {
+		t.Errorf("Hash(5) = %d, want 38", got)
+	}
+}

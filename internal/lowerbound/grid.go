@@ -1,0 +1,124 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/setsystem"
+)
+
+// GridInstance is the "intuitive explanation of a weaker lower bound" that
+// opens Section 4.2 of the paper: t² sets S_ij arranged in a t×t grid.
+//
+// First t row-elements arrive: u_i belongs to the entire row {S_ij : j}
+// (load t), so any algorithm keeps at most one alg-active set per row.
+// Then t² random permutation-elements arrive: v_ℓ belongs to
+// {S_{i,π_ℓ(i)} : i} for a uniformly random permutation π_ℓ, satisfying
+// the paper's condition that two sets of v_ℓ never share a row or a
+// column. Any two sets in different rows are covered by some v_ℓ with
+// constant probability, so of the algorithm's t survivors only O(log t)
+// stay active. An optimal solution completes a full column (t sets):
+// column sets meet every v_ℓ at most once, so all of its elements are
+// assignable. Finally, load-1 padding elements equalize set sizes.
+//
+// The construction yields σmax = t, k = Θ(t) and a Ω(t/log t) gap — the
+// warm-up for the full Lemma 9 machinery.
+type GridInstance struct {
+	T    int
+	Inst *setsystem.Instance
+	// Column[j] lists the sets of column j (the candidate OPT packings).
+	Column [][]setsystem.SetID
+}
+
+// NewGrid draws a grid instance with side t ≥ 2.
+func NewGrid(t int, rng *rand.Rand) (*GridInstance, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("%w: grid side t=%d must be >= 2", ErrBadParams, t)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadParams)
+	}
+	var b setsystem.Builder
+	b.AddSets(t*t, 1)
+	// Random bijection of sets onto grid positions: the algorithm must not
+	// be able to infer rows/columns from set identifiers (cf. the random
+	// bijections μ of Lemma 9) — with the identity labeling, a
+	// lowest-ID-first algorithm would align its row survivors into a
+	// single column and complete all of OPT.
+	place := rng.Perm(t * t)
+	id := func(i, j int) setsystem.SetID { return setsystem.SetID(place[i*t+j]) }
+
+	// Row elements u_1..u_t.
+	for i := 0; i < t; i++ {
+		members := make([]setsystem.SetID, t)
+		for j := 0; j < t; j++ {
+			members[j] = id(i, j)
+		}
+		b.AddElement(members...)
+	}
+	// Permutation elements v_1..v_{t²}.
+	memberCount := make([]int, t*t) // elements so far per set (for padding)
+	for i := range memberCount {
+		memberCount[i] = 1 // the row element
+	}
+	for l := 0; l < t*t; l++ {
+		pi := rng.Perm(t)
+		members := make([]setsystem.SetID, t)
+		for i := 0; i < t; i++ {
+			members[i] = id(i, pi[i])
+			memberCount[id(i, pi[i])]++
+		}
+		b.AddElement(members...)
+	}
+	// Padding: equalize sizes at the maximum so set size leaks nothing.
+	maxSize := 0
+	for _, c := range memberCount {
+		if c > maxSize {
+			maxSize = c
+		}
+	}
+	for s, c := range memberCount {
+		for r := c; r < maxSize; r++ {
+			b.AddElement(setsystem.SetID(s))
+		}
+	}
+
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: grid build: %w", err)
+	}
+	gi := &GridInstance{T: t, Inst: inst, Column: make([][]setsystem.SetID, t)}
+	for j := 0; j < t; j++ {
+		col := make([]setsystem.SetID, t)
+		for i := 0; i < t; i++ {
+			col[i] = id(i, j)
+		}
+		gi.Column[j] = col
+	}
+	return gi, nil
+}
+
+// VerifyColumns checks the OPT certificate: within any single column, no
+// element is demanded by two sets (so the whole column is completable,
+// certifying OPT ≥ t).
+func (gi *GridInstance) VerifyColumns() error {
+	t := gi.T
+	for j := 0; j < t; j++ {
+		inCol := make(map[setsystem.SetID]bool, t)
+		for _, s := range gi.Column[j] {
+			inCol[s] = true
+		}
+		for e, elem := range gi.Inst.Elements {
+			count := 0
+			for _, s := range elem.Members {
+				if inCol[s] {
+					count++
+				}
+			}
+			if count > 1 {
+				return fmt.Errorf("lowerbound: grid column %d double-hit by element %d", j, e)
+			}
+		}
+	}
+	return nil
+}

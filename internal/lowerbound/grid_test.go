@@ -1,0 +1,112 @@
+package lowerbound
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/setsystem"
+)
+
+func TestNewGridRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tt := range []int{-1, 0, 1} {
+		if _, err := NewGrid(tt, rng); !errors.Is(err, ErrBadParams) {
+			t.Errorf("NewGrid(%d) err = %v, want ErrBadParams", tt, err)
+		}
+	}
+	if _, err := NewGrid(3, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("NewGrid(3, nil) err = %v, want ErrBadParams", err)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	for _, tt := range []int{2, 3, 5, 8} {
+		rng := rand.New(rand.NewSource(int64(tt)))
+		gi, err := NewGrid(tt, rng)
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		inst := gi.Inst
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		if inst.NumSets() != tt*tt {
+			t.Errorf("t=%d: m = %d, want t² = %d", tt, inst.NumSets(), tt*tt)
+		}
+		st := setsystem.Compute(inst)
+		if st.SigmaMax != tt {
+			t.Errorf("t=%d: σmax = %d, want t", tt, st.SigmaMax)
+		}
+		// All sets the same size (padding equalizes).
+		if _, ok := setsystem.UniformSize(inst); !ok {
+			t.Errorf("t=%d: sizes not uniform", tt)
+		}
+		if err := gi.VerifyColumns(); err != nil {
+			t.Errorf("t=%d: %v", tt, err)
+		}
+	}
+}
+
+// A clairvoyant algorithm completes an entire column — certifying OPT ≥ t
+// operationally, and exact B&B agrees for small t.
+func TestGridColumnCompletable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gi, err := NewGrid(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCol := make([]bool, gi.Inst.NumSets())
+	for _, s := range gi.Column[1] {
+		inCol[s] = true
+	}
+	alg := &clairvoyant{planted: inCol}
+	res, err := core.Run(gi.Inst, alg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Benefit) != 3 {
+		t.Errorf("column completion = %v, want 3", res.Benefit)
+	}
+	sol, err := offline.Exact(gi.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight < 3 {
+		t.Errorf("exact OPT %v < t = 3", sol.Weight)
+	}
+}
+
+// The grid squeezes online algorithms: averaged over draws, randPr and
+// the baselines complete far fewer than the certified OPT of t.
+func TestGridSqueezesOnlineAlgorithms(t *testing.T) {
+	const tt = 8
+	const draws = 10
+	var randSum, greedySum float64
+	for d := 0; d < draws; d++ {
+		rng := rand.New(rand.NewSource(int64(d)))
+		gi, err := NewGrid(tt, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(gi.Inst, &core.RandPr{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randSum += res.Benefit
+		res, err = core.Run(gi.Inst, &core.GreedyFirstListed{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedySum += res.Benefit
+	}
+	// OPT = t = 8; online algorithms should stay well below half of it.
+	if randSum/draws > tt/2 {
+		t.Errorf("randPr mean %v on grid t=%d; expected ≪ t", randSum/draws, tt)
+	}
+	if greedySum/draws > tt/2 {
+		t.Errorf("greedyFirstListed mean %v on grid t=%d; expected ≪ t", greedySum/draws, tt)
+	}
+}

@@ -1,0 +1,218 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gadget"
+	"repro/internal/gf"
+	"repro/internal/setsystem"
+)
+
+// Lemma9Instance is one draw from the Lemma 9 distribution: an unweighted,
+// unit-capacity OSP instance with ℓ⁴ sets together with the planted
+// subcollection S of ℓ³ pairwise-disjoint sets that an optimal solution
+// completes (the certificate OPT(J) ≥ ℓ³).
+type Lemma9Instance struct {
+	L       int
+	Inst    *setsystem.Instance
+	Planted []setsystem.SetID
+	// StageEnd[s] is the index one past the last element of stage s+1
+	// (s ∈ 0..3), so stage s+1 spans elements [StageEnd[s-1], StageEnd[s]).
+	// Exposed so tests and examples can check the per-stage load profile
+	// Lemma 9's proof relies on.
+	StageEnd [4]int
+}
+
+// StageOf returns the construction stage (1..4) that element index j
+// belongs to.
+func (li *Lemma9Instance) StageOf(j int) int {
+	for s, end := range li.StageEnd {
+		if j < end {
+			return s + 1
+		}
+	}
+	return 4
+}
+
+// NewLemma9 draws an instance from the Lemma 9 distribution for a prime
+// power ℓ ≥ 2, following the four stages of Figure 1:
+//
+//	Stage I:   ℓ² subcollections of ℓ² sets; a random bijection onto
+//	           [ℓ]×[ℓ] each; apply an (ℓ,ℓ)-gadget without the rows.
+//	Stage II:  ℓ subcollections of ℓ³ sets, each the concatenation of ℓ
+//	           Stage-I blocks with independently permuted rows; apply an
+//	           (ℓ,ℓ²)-gadget without the rows.
+//	Stage III: plant S by picking one row u_t per Stage-II subcollection;
+//	           apply an (ℓ²−ℓ,ℓ²)-gadget (with rows) to C \ S.
+//	Stage IV:  pad each planted set with ℓ²+1 load-1 elements, equalizing
+//	           every set's size at k = 2ℓ²+ℓ+1.
+//
+// Two corrections to the extended abstract's text (see DESIGN.md): the
+// Stage II column offset (ℓ−1)(z−(t−1)ℓ) is read as ℓ·(z−(t−1)ℓ−1) so the
+// blocks tile [ℓ²] exactly, and Stage IV pads with ℓ²+1 (not ℓ²) elements —
+// Section 4 requires all sets to have a common size k, and with ℓ²
+// padding elements the planted sets would be one element smaller, leaking
+// the certificate to any size-aware algorithm.
+func NewLemma9(l int, rng *rand.Rand) (*Lemma9Instance, error) {
+	if _, _, ok := gf.FactorPrimePower(l); !ok || l < 2 {
+		return nil, fmt.Errorf("%w: ℓ=%d must be a prime power >= 2", ErrBadParams, l)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadParams)
+	}
+	l2 := l * l
+	l3 := l2 * l
+	l4 := l3 * l
+
+	var b setsystem.Builder
+	b.AddSets(l4, 1)
+
+	// Stage I bookkeeping: rowI[s], colI[s] give μI_z(s) within block z;
+	// block z of set s is s / ℓ².
+	rowI := make([]int, l4)
+	colI := make([]int, l4)
+	gI, err := gadget.New(l, l)
+	if err != nil {
+		return nil, err
+	}
+	for z := 0; z < l2; z++ {
+		base := z * l2
+		perm := rng.Perm(l2) // random bijection μI_z: slot p ↦ set base+perm[p]
+		slotToSet := make([]setsystem.SetID, l2)
+		for p, q := range perm {
+			s := base + q
+			rowI[s] = p / l
+			colI[s] = p % l
+			slotToSet[p] = setsystem.SetID(s)
+		}
+		gI.VisitLines(false, func(line []gadget.Item) {
+			members := make([]setsystem.SetID, 0, len(line))
+			for _, it := range line {
+				members = append(members, slotToSet[it.Row*l+it.Col])
+			}
+			b.AddElement(members...)
+		})
+	}
+
+	// Stage II: subcollection t ∈ [0,ℓ) holds blocks z ∈ [tℓ, (t+1)ℓ).
+	// Within subcollection t, block z contributes columns
+	// [ℓ·(z−tℓ), ℓ·(z−tℓ)+ℓ) and its rows are permuted by π_z.
+	stageEnd1 := b.NumElements()
+
+	rowII := make([]int, l4)
+	colII := make([]int, l4)
+	gII, err := gadget.New(l, l2)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < l; t++ {
+		// slotToSet for the ℓ×ℓ² matrix of subcollection t.
+		slotToSet := make([]setsystem.SetID, l*l2)
+		for zi := 0; zi < l; zi++ {
+			z := t*l + zi
+			pi := rng.Perm(l) // π_z: Stage-I row ↦ Stage-II row
+			base := z * l2
+			for q := 0; q < l2; q++ {
+				s := base + q
+				r := pi[rowI[s]]
+				c := colI[s] + l*zi
+				rowII[s] = r
+				colII[s] = c
+				slotToSet[r*l2+c] = setsystem.SetID(s)
+			}
+		}
+		gII.VisitLines(false, func(line []gadget.Item) {
+			members := make([]setsystem.SetID, 0, len(line))
+			for _, it := range line {
+				members = append(members, slotToSet[it.Row*l2+it.Col])
+			}
+			b.AddElement(members...)
+		})
+	}
+
+	stageEnd2 := b.NumElements()
+
+	// Stage III: pick u_t per subcollection; S = sets in row u_t.
+	inS := make([]bool, l4)
+	planted := make([]setsystem.SetID, 0, l3)
+	for t := 0; t < l; t++ {
+		ut := rng.Intn(l)
+		for z := t * l; z < (t+1)*l; z++ {
+			base := z * l2
+			for q := 0; q < l2; q++ {
+				s := base + q
+				if rowII[s] == ut {
+					inS[s] = true
+					planted = append(planted, setsystem.SetID(s))
+				}
+			}
+		}
+	}
+	// Apply an (ℓ²−ℓ, ℓ²)-gadget with rows to C \ S under an arbitrary
+	// bijection.
+	rest := make([]setsystem.SetID, 0, l4-l3)
+	for s := 0; s < l4; s++ {
+		if !inS[s] {
+			rest = append(rest, setsystem.SetID(s))
+		}
+	}
+	gIII, err := gadget.New(l2-l, l2)
+	if err != nil {
+		return nil, err
+	}
+	gIII.VisitLines(true, func(line []gadget.Item) {
+		members := make([]setsystem.SetID, 0, len(line))
+		for _, it := range line {
+			members = append(members, rest[it.Row*l2+it.Col])
+		}
+		b.AddElement(members...)
+	})
+
+	stageEnd3 := b.NumElements()
+
+	// Stage IV: ℓ²+1 load-1 elements per planted set, so every set ends
+	// with exactly k = 2ℓ²+ℓ+1 elements.
+	for _, s := range planted {
+		for r := 0; r < l2+1; r++ {
+			b.AddElement(s)
+		}
+	}
+
+	stageEnd4 := b.NumElements()
+
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: lemma9 build: %w", err)
+	}
+	return &Lemma9Instance{
+		L: l, Inst: inst, Planted: planted,
+		StageEnd: [4]int{stageEnd1, stageEnd2, stageEnd3, stageEnd4},
+	}, nil
+}
+
+// VerifyPlanted checks the OPT certificate: the planted sets are pairwise
+// disjoint (no element lists two of them), so all ℓ³ of them are
+// completable offline.
+func (li *Lemma9Instance) VerifyPlanted() error {
+	inPlanted := make([]bool, li.Inst.NumSets())
+	for _, s := range li.Planted {
+		inPlanted[s] = true
+	}
+	for j, e := range li.Inst.Elements {
+		count := 0
+		for _, s := range e.Members {
+			if inPlanted[s] {
+				count++
+			}
+		}
+		if count > 1 {
+			return fmt.Errorf("lowerbound: element %d intersects %d planted sets", j, count)
+		}
+	}
+	want := li.L * li.L * li.L
+	if len(li.Planted) != want {
+		return fmt.Errorf("lowerbound: planted size %d, want ℓ³ = %d", len(li.Planted), want)
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package lowerbound
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/setsystem"
+)
+
+func TestNewDeterministicAdversaryRejectsBadParams(t *testing.T) {
+	cases := []struct{ sigma, k int }{{1, 3}, {0, 2}, {2, 0}, {2, -1}, {1024, 3}}
+	for _, c := range cases {
+		if _, err := NewDeterministicAdversary(c.sigma, c.k); !errors.Is(err, ErrBadParams) {
+			t.Errorf("NewDeterministicAdversary(%d,%d) err = %v, want ErrBadParams", c.sigma, c.k, err)
+		}
+	}
+}
+
+func TestDuelAgainstDeterministicBaselines(t *testing.T) {
+	for _, p := range []struct{ sigma, k int }{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}, {2, 4}} {
+		want := pow(p.sigma, p.k-1)
+		for _, alg := range core.Baselines() {
+			res, inst, certOPT, err := RunDuel(p.sigma, p.k, alg)
+			if err != nil {
+				t.Fatalf("σ=%d k=%d %s: %v", p.sigma, p.k, alg.Name(), err)
+			}
+			if res.Benefit > 1 {
+				t.Errorf("σ=%d k=%d %s: ALG = %v > 1 — Theorem 3 violated", p.sigma, p.k, alg.Name(), res.Benefit)
+			}
+			if certOPT != want {
+				t.Errorf("σ=%d k=%d %s: certificate %d, want σ^(k−1) = %d", p.sigma, p.k, alg.Name(), certOPT, want)
+			}
+			if err := inst.Validate(); err != nil {
+				t.Errorf("σ=%d k=%d %s: materialized instance invalid: %v", p.sigma, p.k, alg.Name(), err)
+			}
+			// Every set must have size exactly k and every element load ≤ σ.
+			for i, sz := range inst.Sizes {
+				if sz != p.k {
+					t.Fatalf("set %d has size %d, want %d", i, sz, p.k)
+				}
+			}
+			st := setsystem.Compute(inst)
+			if st.SigmaMax > p.sigma {
+				t.Errorf("σmax = %d > σ = %d", st.SigmaMax, p.sigma)
+			}
+		}
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// The adversary's certificate must be a feasible, completable packing of
+// the materialized instance: verify with the offline machinery.
+func TestCertificateIsFeasible(t *testing.T) {
+	adv, err := NewDeterministicAdversary(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &core.GreedyFirstListed{}
+	_, inst, err := core.RunSource(adv, alg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := adv.Certificate()
+	sol := &offline.Solution{Sets: cert, Weight: float64(len(cert))}
+	if err := offline.Verify(inst, sol); err != nil {
+		t.Fatalf("certificate not feasible: %v", err)
+	}
+	// Certificate sets have all their elements, i.e. they are genuinely
+	// completable: each appears in exactly k elements of the instance.
+	counts := make(map[setsystem.SetID]int)
+	for _, e := range inst.Elements {
+		for _, s := range e.Members {
+			counts[s]++
+		}
+	}
+	for _, s := range cert {
+		if counts[s] != 3 {
+			t.Errorf("certificate set %d appears in %d elements, want 3", s, counts[s])
+		}
+	}
+}
+
+// Exact OPT on a small duel instance should be at least the certificate
+// (and the ratio OPT/ALG at least σ^(k−1)).
+func TestDuelExactOPTDominatesCertificate(t *testing.T) {
+	res, inst, certOPT, err := RunDuel(2, 3, &core.GreedyMaxWeight{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := offline.Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight < float64(certOPT) {
+		t.Errorf("exact OPT %v < certificate %d", sol.Weight, certOPT)
+	}
+	if res.Benefit > 1 {
+		t.Errorf("ALG = %v > 1", res.Benefit)
+	}
+	if ratio := sol.Weight / math.Max(res.Benefit, 1); ratio < float64(certOPT) {
+		t.Errorf("ratio %v < σ^(k−1) = %d", ratio, certOPT)
+	}
+}
+
+// randPr against the Theorem 3 adversary: the adversary is built for
+// deterministic algorithms, but the stream it produces is still a valid
+// instance; randPr should complete at least one set on average and the run
+// must satisfy the engine's invariants.
+func TestDuelAgainstRandPrIsValid(t *testing.T) {
+	adv, err := NewDeterministicAdversary(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, inst, err := core.RunSource(adv, &core.RandPr{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit < 0 || res.Benefit > float64(inst.NumSets()) {
+		t.Errorf("benefit %v out of range", res.Benefit)
+	}
+}
+
+// An algorithm that never assigns: the adversary must still terminate,
+// produce a valid instance of sets of size k and keep the certificate.
+func TestDuelAgainstNihilist(t *testing.T) {
+	res, inst, certOPT, err := RunDuel(3, 3, nihilist{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 0 {
+		t.Errorf("nihilist benefit = %v, want 0", res.Benefit)
+	}
+	if certOPT != 9 {
+		t.Errorf("certificate = %d, want 9", certOPT)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type nihilist struct{}
+
+func (nihilist) Name() string                              { return "nihilist" }
+func (nihilist) Reset(core.Info, *rand.Rand) error         { return nil }
+func (nihilist) Choose(core.ElementView) []setsystem.SetID { return nil }
+
+func TestNewLemma9RejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, l := range []int{0, 1, 6, 10} {
+		if _, err := NewLemma9(l, rng); !errors.Is(err, ErrBadParams) {
+			t.Errorf("NewLemma9(%d) err = %v, want ErrBadParams", l, err)
+		}
+	}
+	if _, err := NewLemma9(2, nil); !errors.Is(err, ErrBadParams) {
+		t.Errorf("NewLemma9(2, nil) err = %v, want ErrBadParams", err)
+	}
+}
+
+func TestLemma9Shape(t *testing.T) {
+	for _, l := range []int{2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(l)))
+		li, err := NewLemma9(l, rng)
+		if err != nil {
+			t.Fatalf("ℓ=%d: %v", l, err)
+		}
+		inst := li.Inst
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("ℓ=%d: invalid instance: %v", l, err)
+		}
+		l2, l4, l5 := l*l, l*l*l*l, l*l*l*l*l
+
+		if inst.NumSets() != l4 {
+			t.Errorf("ℓ=%d: m = %d, want ℓ⁴ = %d", l, inst.NumSets(), l4)
+		}
+		// Lemma 8 accounting: n = ℓ⁴ + ℓ⁵ + ℓ⁴ + (ℓ²−ℓ) + ℓ³(ℓ²+1).
+		l3 := l2 * l
+		wantN := l4 + l5 + l4 + (l2 - l) + l3*(l2+1)
+		if inst.NumElements() != wantN {
+			t.Errorf("ℓ=%d: n = %d, want %d", l, inst.NumElements(), wantN)
+		}
+		// All sets share the common size k = 2ℓ²+ℓ+1 (Section 4 requires a
+		// common size; see DESIGN.md for the Stage IV correction).
+		if k, ok := setsystem.UniformSize(inst); !ok || k != 2*l2+l+1 {
+			t.Fatalf("ℓ=%d: sizes not uniform at 2ℓ²+ℓ+1 (got %d, %v)", l, k, ok)
+		}
+		st := setsystem.Compute(inst)
+		// σmax = ℓ²−ℓ for ℓ ≥ 3 (Stage III rows have load ℓ², wait: row
+		// lines of the Stage III gadget have load N = ℓ²). Bound: σmax ≤ ℓ².
+		if st.SigmaMax > l2 {
+			t.Errorf("ℓ=%d: σmax = %d > ℓ² = %d", l, st.SigmaMax, l2)
+		}
+		if st.SigmaMax < l2-l {
+			t.Errorf("ℓ=%d: σmax = %d < ℓ²−ℓ = %d", l, st.SigmaMax, l2-l)
+		}
+		// mean load Θ(ℓ): between ℓ/4 and 2ℓ is a safe band.
+		if st.SigmaMean < float64(l)/4 || st.SigmaMean > 2*float64(l) {
+			t.Errorf("ℓ=%d: mean σ = %v, want Θ(ℓ)", l, st.SigmaMean)
+		}
+		if err := li.VerifyPlanted(); err != nil {
+			t.Errorf("ℓ=%d: %v", l, err)
+		}
+	}
+}
+
+// The planted collection really is completable: feed the instance to a
+// clairvoyant algorithm that assigns every element to its planted parent
+// and check it completes all ℓ³ sets.
+func TestLemma9PlantedCompletable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	li, err := NewLemma9(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPlanted := make([]bool, li.Inst.NumSets())
+	for _, s := range li.Planted {
+		inPlanted[s] = true
+	}
+	alg := &clairvoyant{planted: inPlanted}
+	res, err := core.Run(li.Inst, alg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(res.Benefit), 27; got != want {
+		t.Errorf("clairvoyant benefit = %d, want ℓ³ = %d", got, want)
+	}
+}
+
+type clairvoyant struct{ planted []bool }
+
+func (c *clairvoyant) Name() string                      { return "clairvoyant" }
+func (c *clairvoyant) Reset(core.Info, *rand.Rand) error { return nil }
+func (c *clairvoyant) Choose(ev core.ElementView) []setsystem.SetID {
+	for _, s := range ev.Members {
+		if c.planted[s] {
+			return []setsystem.SetID{s}
+		}
+	}
+	return nil
+}
+
+// Online algorithms are crushed by the Lemma 9 distribution: the measured
+// benefit of randPr and the deterministic baselines must be far below the
+// planted OPT of ℓ³.
+func TestLemma9DefeatsOnlineAlgorithms(t *testing.T) {
+	const l = 4
+	rng := rand.New(rand.NewSource(7))
+	li, err := NewLemma9(l, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := float64(l * l * l)
+	algs := []core.Algorithm{&core.RandPr{}, &core.GreedyFirstListed{}, &core.GreedyFewestRemaining{}}
+	for _, alg := range algs {
+		res, err := core.Run(li.Inst, alg, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.Benefit > opt/4 {
+			t.Errorf("%s achieved %v on the ℓ=%d distribution; expected far below OPT = %v",
+				alg.Name(), res.Benefit, l, opt)
+		}
+	}
+}

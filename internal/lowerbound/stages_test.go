@@ -1,0 +1,87 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-stage load profile of the Lemma 9 construction (the accounting in
+// the proof of Lemma 9): Stage I has ℓ⁴ elements of load ℓ; Stage II has
+// ℓ⁵ elements of load ℓ; Stage III has ℓ⁴ elements of load ℓ²−ℓ plus
+// ℓ²−ℓ row elements of load ℓ²; Stage IV has ℓ³(ℓ²+1) elements of load 1.
+func TestLemma9StageProfile(t *testing.T) {
+	for _, l := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(l)))
+		li, err := NewLemma9(l, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, l3, l4, l5 := l*l, l*l*l, l*l*l*l, l*l*l*l*l
+
+		counts := [5]int{} // per-stage element counts (1-indexed)
+		for j, e := range li.Inst.Elements {
+			stage := li.StageOf(j)
+			counts[stage]++
+			load := e.Load()
+			switch stage {
+			case 1, 2:
+				if load != l {
+					t.Fatalf("ℓ=%d: stage %d element %d has load %d, want ℓ=%d", l, stage, j, load, l)
+				}
+			case 3:
+				if load != l2-l && load != l2 {
+					t.Fatalf("ℓ=%d: stage 3 element %d has load %d, want ℓ²−ℓ or ℓ²", l, j, load)
+				}
+			case 4:
+				if load != 1 {
+					t.Fatalf("ℓ=%d: stage 4 element %d has load %d, want 1", l, j, load)
+				}
+			}
+		}
+		if counts[1] != l4 {
+			t.Errorf("ℓ=%d: stage I count %d, want ℓ⁴=%d", l, counts[1], l4)
+		}
+		if counts[2] != l5 {
+			t.Errorf("ℓ=%d: stage II count %d, want ℓ⁵=%d", l, counts[2], l5)
+		}
+		if counts[3] != l4+(l2-l) {
+			t.Errorf("ℓ=%d: stage III count %d, want ℓ⁴+ℓ²−ℓ=%d", l, counts[3], l4+l2-l)
+		}
+		if counts[4] != l3*(l2+1) {
+			t.Errorf("ℓ=%d: stage IV count %d, want ℓ³(ℓ²+1)=%d", l, counts[4], l3*(l2+1))
+		}
+		// Exactly ℓ²−ℓ of the stage-3 elements are the row lines of load ℓ².
+		rows := 0
+		for j := li.StageEnd[1]; j < li.StageEnd[2]; j++ {
+			if li.Inst.Elements[j].Load() == l2 {
+				rows++
+			}
+		}
+		if l > 2 && rows != l2-l {
+			// For ℓ=2, ℓ²−ℓ = ℓ = 2 so affine and row loads coincide; skip.
+			t.Errorf("ℓ=%d: %d row elements in stage III, want ℓ²−ℓ=%d", l, rows, l2-l)
+		}
+	}
+}
+
+// Stage boundaries are monotone and end at n.
+func TestLemma9StageBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	li, err := NewLemma9(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for s, end := range li.StageEnd {
+		if end < prev {
+			t.Fatalf("StageEnd[%d] = %d < previous %d", s, end, prev)
+		}
+		prev = end
+	}
+	if li.StageEnd[3] != li.Inst.NumElements() {
+		t.Errorf("StageEnd[3] = %d, want n = %d", li.StageEnd[3], li.Inst.NumElements())
+	}
+	if li.StageOf(0) != 1 || li.StageOf(li.Inst.NumElements()-1) != 4 {
+		t.Error("StageOf boundary values wrong")
+	}
+}

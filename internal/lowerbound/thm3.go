@@ -1,0 +1,201 @@
+// Package lowerbound implements the paper's two lower-bound constructions:
+// the Theorem 3 adaptive adversary that forces every deterministic online
+// algorithm to a competitive ratio of σ^(k−1), and the Lemma 9 randomized
+// distribution (Figure 1) built from (M,N)-gadgets, which defeats every
+// online algorithm — randomized ones included — up to polylog factors of
+// kmax·sqrt(σmax).
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/setsystem"
+)
+
+// ErrBadParams is returned for out-of-range construction parameters.
+var ErrBadParams = errors.New("lowerbound: invalid construction parameters")
+
+// DeterministicAdversary is the Theorem 3 construction as an adaptive
+// core.Source. It announces σ^k unweighted unit-capacity sets of size k,
+// then plays k phases: before each phase the sets still completable under
+// the algorithm's own choices are partitioned into groups of σ, and one
+// element per group arrives (its parents are the group). At most one set
+// per group survives the phase, so at most one set overall survives all k
+// phases. Finally every set is padded with load-1 elements to size k.
+//
+// While streaming it records, per phase-1 element, one parent the
+// algorithm did not choose; those sets are pairwise disjoint and complete
+// under padding, certifying OPT ≥ σ^(k−1).
+type DeterministicAdversary struct {
+	sigma, k int
+	m        int
+
+	info    core.Info
+	phase   int // current phase, 1..k; k+1 means padding
+	queue   []setsystem.Element
+	qpos    int
+	last    setsystem.Element // element most recently emitted
+	started bool
+
+	active  []bool
+	arrived []int // phase elements emitted containing each set
+
+	certificate []setsystem.SetID
+	certMarked  []bool
+}
+
+var _ core.Source = (*DeterministicAdversary)(nil)
+
+// NewDeterministicAdversary creates the Theorem 3 adversary with burst
+// size sigma ≥ 2 and set size k ≥ 1. The instance has σ^k sets; keep
+// σ^k modest (the constructions in the paper use small constants).
+func NewDeterministicAdversary(sigma, k int) (*DeterministicAdversary, error) {
+	if sigma < 2 || k < 1 {
+		return nil, fmt.Errorf("%w: sigma=%d k=%d (need sigma>=2, k>=1)", ErrBadParams, sigma, k)
+	}
+	m := 1
+	for i := 0; i < k; i++ {
+		m *= sigma
+		if m > 1<<22 {
+			return nil, fmt.Errorf("%w: sigma^k = %d too large", ErrBadParams, m)
+		}
+	}
+	a := &DeterministicAdversary{sigma: sigma, k: k, m: m}
+	weights := make([]float64, m)
+	sizes := make([]int, m)
+	for i := range weights {
+		weights[i] = 1
+		sizes[i] = k
+	}
+	a.info = core.Info{Weights: weights, Sizes: sizes}
+	a.active = make([]bool, m)
+	for i := range a.active {
+		a.active[i] = true
+	}
+	a.arrived = make([]int, m)
+	a.certMarked = make([]bool, m)
+	return a, nil
+}
+
+// Info implements core.Source.
+func (a *DeterministicAdversary) Info() core.Info { return a.info }
+
+// NumSets returns σ^k.
+func (a *DeterministicAdversary) NumSets() int { return a.m }
+
+// Next implements core.Source: it digests the algorithm's previous choice,
+// then emits the next element of the construction.
+func (a *DeterministicAdversary) Next(prevChoice []setsystem.SetID) (setsystem.Element, bool) {
+	if a.started {
+		a.digest(prevChoice)
+	}
+	a.started = true
+
+	for a.qpos >= len(a.queue) {
+		if !a.nextPhase() {
+			return setsystem.Element{}, false
+		}
+	}
+	e := a.queue[a.qpos]
+	a.qpos++
+	a.last = e
+	return e, true
+}
+
+// digest updates the active flags given the algorithm's choice on the last
+// emitted element, and records the OPT certificate for phase-1 elements.
+func (a *DeterministicAdversary) digest(choice []setsystem.SetID) {
+	chosen := setsystem.SetID(-1)
+	if len(choice) > 0 {
+		chosen = choice[0] // unit capacity: at most one
+	}
+	if a.phase == 1 && len(a.last.Members) > 1 {
+		// Record one unchosen parent: it is eliminated now and meets no
+		// further phase elements, so OPT can complete it via padding.
+		for _, s := range a.last.Members {
+			if s != chosen {
+				a.certificate = append(a.certificate, s)
+				a.certMarked[s] = true
+				break
+			}
+		}
+	}
+	for _, s := range a.last.Members {
+		if s != chosen {
+			a.active[s] = false
+		}
+	}
+}
+
+// nextPhase builds the element queue of the next phase (or the padding
+// tail) and reports whether anything remains.
+func (a *DeterministicAdversary) nextPhase() bool {
+	a.phase++
+	a.queue = a.queue[:0]
+	a.qpos = 0
+	if a.phase <= a.k {
+		// Partition the currently active sets into groups of σ.
+		group := make([]setsystem.SetID, 0, a.sigma)
+		for i := 0; i < a.m; i++ {
+			if !a.active[i] {
+				continue
+			}
+			group = append(group, setsystem.SetID(i))
+			if len(group) == a.sigma {
+				a.pushPhaseElement(group)
+				group = group[:0]
+			}
+		}
+		if len(group) > 0 {
+			a.pushPhaseElement(group)
+		}
+		return true // even an empty phase advances to padding eventually
+	}
+	if a.phase == a.k+1 {
+		// Padding: complete every set to size k with load-1 elements.
+		for i := 0; i < a.m; i++ {
+			for r := a.arrived[i]; r < a.k; r++ {
+				a.queue = append(a.queue, setsystem.Element{
+					Members:  []setsystem.SetID{setsystem.SetID(i)},
+					Capacity: 1,
+				})
+			}
+		}
+		return len(a.queue) > 0
+	}
+	return false
+}
+
+func (a *DeterministicAdversary) pushPhaseElement(group []setsystem.SetID) {
+	members := append([]setsystem.SetID(nil), group...)
+	for _, s := range members {
+		a.arrived[s]++
+	}
+	a.queue = append(a.queue, setsystem.Element{Members: members, Capacity: 1})
+}
+
+// Certificate returns the pairwise-disjoint sets recorded during phase 1;
+// each is completable by an offline solution, so len(Certificate()) is a
+// certified lower bound on OPT. For an algorithm that assigns every
+// phase-1 element, the certificate has exactly σ^(k−1) sets.
+func (a *DeterministicAdversary) Certificate() []setsystem.SetID {
+	return append([]setsystem.SetID(nil), a.certificate...)
+}
+
+// RunDuel runs the adversary against a deterministic algorithm and returns
+// the algorithm's result, the materialized instance, and the certified OPT
+// value. The adversary adapts per Theorem 3, so alg should be
+// deterministic for the guarantee ALG ≤ 1 to hold.
+func RunDuel(sigma, k int, alg core.Algorithm) (res *core.Result, inst *setsystem.Instance, certOPT int, err error) {
+	adv, err := NewDeterministicAdversary(sigma, k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	res, inst, err = core.RunSource(adv, alg, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res, inst, len(adv.Certificate()), nil
+}

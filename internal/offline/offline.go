@@ -1,0 +1,274 @@
+// Package offline computes (or bounds) the offline optimum of set packing
+// instances, which the paper's competitive ratios are measured against:
+//
+//	maximize Σ w_i·x_i  s.t.  Σ_{i: u_j ∈ S_i} x_i ≤ b_j  ∀j,   x ∈ {0,1}^m
+//
+// (the integer program (1) of Section 2). Three tools are provided:
+//
+//   - Exact: branch-and-bound integer optimum, for small/medium instances;
+//   - Greedy: the classical offline greedy (a k-approximation), used both
+//     as a fast OPT lower bound and a B&B warm start;
+//   - LPBound: the LP-relaxation optimum via a dense primal simplex, an
+//     upper bound on OPT for instances too large to solve exactly.
+package offline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/setsystem"
+)
+
+// Solution is a feasible set packing with its total weight.
+type Solution struct {
+	Sets   []setsystem.SetID
+	Weight float64
+}
+
+// ErrNodeBudget is returned by Exact when the search exceeds its node
+// budget; callers should fall back to LPBound + Greedy.
+var ErrNodeBudget = errors.New("offline: branch-and-bound node budget exhausted")
+
+// Options tunes the exact solver.
+type Options struct {
+	// MaxNodes bounds the number of search nodes; 0 means the default
+	// (20 million). Exceeding the budget yields ErrNodeBudget.
+	MaxNodes int64
+}
+
+const defaultMaxNodes = 20_000_000
+
+// Exact returns an optimal solution using branch-and-bound with default
+// options.
+func Exact(inst *setsystem.Instance) (*Solution, error) {
+	return ExactOpts(inst, Options{})
+}
+
+// ExactOpts returns an optimal solution using branch-and-bound.
+//
+// The search orders sets by weight density (weight per element)
+// descending, maintains per-element residual capacities, prunes with
+// suffix-weight bounds and warm-starts from the greedy solution.
+func ExactOpts(inst *setsystem.Instance, opts Options) (*Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+	m := inst.NumSets()
+	members := inst.MemberMatrix()
+
+	order := densityOrder(inst)
+
+	// suffix[i] = total weight of order[i:], an admissible bound on what
+	// the unexplored suffix can still add.
+	suffix := make([]float64, m+1)
+	for i := m - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + inst.Weights[order[i]]
+	}
+
+	residual := make([]int, inst.NumElements())
+	for j, e := range inst.Elements {
+		residual[j] = e.Capacity
+	}
+
+	warm := Greedy(inst)
+	best := warm.Weight
+	bestSets := append([]setsystem.SetID(nil), warm.Sets...)
+
+	cur := make([]setsystem.SetID, 0, m)
+	var nodes int64
+	var overBudget bool
+
+	var dfs func(idx int, curWeight float64)
+	dfs = func(idx int, curWeight float64) {
+		if overBudget {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			overBudget = true
+			return
+		}
+		if curWeight > best {
+			best = curWeight
+			bestSets = append(bestSets[:0], cur...)
+		}
+		if idx == m || curWeight+suffix[idx] <= best {
+			return
+		}
+		s := order[idx]
+		// Branch 1: take s if every element has residual capacity.
+		feasible := true
+		for _, j := range members[s] {
+			if residual[j] == 0 {
+				feasible = false
+				break
+			}
+		}
+		if feasible && inst.Weights[s] > 0 {
+			for _, j := range members[s] {
+				residual[j]--
+			}
+			cur = append(cur, s)
+			dfs(idx+1, curWeight+inst.Weights[s])
+			cur = cur[:len(cur)-1]
+			for _, j := range members[s] {
+				residual[j]++
+			}
+		}
+		// Branch 2: skip s.
+		dfs(idx+1, curWeight)
+	}
+	dfs(0, 0)
+
+	if overBudget {
+		return nil, fmt.Errorf("%w: %d nodes", ErrNodeBudget, nodes)
+	}
+	sort.Slice(bestSets, func(i, j int) bool { return bestSets[i] < bestSets[j] })
+	return &Solution{Sets: bestSets, Weight: best}, nil
+}
+
+// Greedy returns the offline greedy packing: consider sets by weight
+// density descending and add each set whose elements all still have
+// residual capacity. For unit capacities and sets of size at most k this
+// is the folklore k-approximation mentioned in the paper's related work.
+func Greedy(inst *setsystem.Instance) *Solution {
+	members := inst.MemberMatrix()
+	order := densityOrder(inst)
+	residual := make([]int, inst.NumElements())
+	for j, e := range inst.Elements {
+		residual[j] = e.Capacity
+	}
+	sol := &Solution{}
+	for _, s := range order {
+		if inst.Weights[s] <= 0 {
+			continue
+		}
+		ok := true
+		for _, j := range members[s] {
+			if residual[j] == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, j := range members[s] {
+			residual[j]--
+		}
+		sol.Sets = append(sol.Sets, s)
+		sol.Weight += inst.Weights[s]
+	}
+	sort.Slice(sol.Sets, func(i, j int) bool { return sol.Sets[i] < sol.Sets[j] })
+	return sol
+}
+
+// densityOrder returns set indices sorted by weight/size descending, then
+// weight descending, then index.
+func densityOrder(inst *setsystem.Instance) []setsystem.SetID {
+	m := inst.NumSets()
+	order := make([]setsystem.SetID, m)
+	for i := range order {
+		order[i] = setsystem.SetID(i)
+	}
+	density := func(s setsystem.SetID) float64 {
+		if inst.Sizes[s] == 0 {
+			return inst.Weights[s]
+		}
+		return inst.Weights[s] / float64(inst.Sizes[s])
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := density(order[a]), density(order[b])
+		if da != db {
+			return da > db
+		}
+		wa, wb := inst.Weights[order[a]], inst.Weights[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Verify checks that the solution is a feasible packing of the instance
+// and that its recorded weight matches its set list.
+func Verify(inst *setsystem.Instance, sol *Solution) error {
+	residual := make([]int, inst.NumElements())
+	for j, e := range inst.Elements {
+		residual[j] = e.Capacity
+	}
+	members := inst.MemberMatrix()
+	var w float64
+	seen := make(map[setsystem.SetID]bool, len(sol.Sets))
+	for _, s := range sol.Sets {
+		if seen[s] {
+			return fmt.Errorf("offline: set %d repeated in solution", s)
+		}
+		seen[s] = true
+		if int(s) < 0 || int(s) >= inst.NumSets() {
+			return fmt.Errorf("offline: set %d out of range", s)
+		}
+		for _, j := range members[s] {
+			residual[j]--
+			if residual[j] < 0 {
+				return fmt.Errorf("offline: element %d over capacity", j)
+			}
+		}
+		w += inst.Weights[s]
+	}
+	if diff := w - sol.Weight; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("offline: recorded weight %v != actual %v", sol.Weight, w)
+	}
+	return nil
+}
+
+// LPBound returns the optimum of the LP relaxation (0 ≤ x ≤ 1), an upper
+// bound on the integer optimum.
+func LPBound(inst *setsystem.Instance) (float64, error) {
+	m := inst.NumSets()
+	n := inst.NumElements()
+	if m == 0 {
+		return 0, nil
+	}
+	rows := make([][]sparseEntry, 0, n+m)
+	rhs := make([]float64, 0, n+m)
+	for j, e := range inst.Elements {
+		row := make([]sparseEntry, 0, len(e.Members))
+		for _, s := range e.Members {
+			row = append(row, sparseEntry{col: int(s), val: 1})
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, float64(inst.Elements[j].Capacity))
+	}
+	for i := 0; i < m; i++ {
+		rows = append(rows, []sparseEntry{{col: i, val: 1}})
+		rhs = append(rhs, 1)
+	}
+	_, val, err := simplexSparse(inst.Weights, rows, rhs)
+	if err != nil {
+		return 0, err
+	}
+	return val, nil
+}
+
+// BestUpperBound returns the tightest cheap upper bound on OPT: the exact
+// optimum when the branch-and-bound finishes within the node budget, and
+// the LP relaxation value otherwise. The second return reports whether the
+// bound is exact.
+func BestUpperBound(inst *setsystem.Instance, opts Options) (float64, bool, error) {
+	sol, err := ExactOpts(inst, opts)
+	if err == nil {
+		return sol.Weight, true, nil
+	}
+	if !errors.Is(err, ErrNodeBudget) {
+		return 0, false, err
+	}
+	lp, lperr := LPBound(inst)
+	if lperr != nil {
+		return 0, false, lperr
+	}
+	return lp, false, nil
+}

@@ -1,0 +1,317 @@
+package offline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setsystem"
+)
+
+func triangle(t *testing.T, wa, wb, wc float64) *setsystem.Instance {
+	t.Helper()
+	var b setsystem.Builder
+	a := b.AddSet(wa)
+	bb := b.AddSet(wb)
+	c := b.AddSet(wc)
+	b.AddElement(a, bb)
+	b.AddElement(a, c)
+	b.AddElement(bb, c)
+	return b.MustBuild()
+}
+
+func TestExactTriangle(t *testing.T) {
+	// Pairwise-intersecting sets: OPT takes exactly the heaviest.
+	inst := triangle(t, 1, 2, 3)
+	sol, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight != 3 || len(sol.Sets) != 1 || sol.Sets[0] != 2 {
+		t.Errorf("Exact = %+v, want set 2, weight 3", sol)
+	}
+	if err := Verify(inst, sol); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactDisjoint(t *testing.T) {
+	var b setsystem.Builder
+	for i := 1; i <= 4; i++ {
+		s := b.AddSet(float64(i))
+		b.AddElement(s)
+	}
+	inst := b.MustBuild()
+	sol, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight != 10 || len(sol.Sets) != 4 {
+		t.Errorf("Exact on disjoint sets = %+v, want all 4", sol)
+	}
+}
+
+func TestExactCapacityTwo(t *testing.T) {
+	// Three singleton sets sharing one element of capacity 2: the two
+	// heaviest win.
+	var b setsystem.Builder
+	s0 := b.AddSet(5)
+	s1 := b.AddSet(3)
+	s2 := b.AddSet(4)
+	b.AddElementCap(2, s0, s1, s2)
+	inst := b.MustBuild()
+	sol, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight != 9 {
+		t.Errorf("Exact weight = %v, want 9", sol.Weight)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		inst := randomInstance(rng, 10, 14)
+		sol, err := Exact(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(inst, sol); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForce(inst)
+		if math.Abs(sol.Weight-want) > 1e-9 {
+			t.Fatalf("trial %d: Exact = %v, brute force = %v", trial, sol.Weight, want)
+		}
+	}
+}
+
+// bruteForce enumerates all 2^m subsets.
+func bruteForce(inst *setsystem.Instance) float64 {
+	m := inst.NumSets()
+	members := inst.MemberMatrix()
+	best := 0.0
+	for mask := 0; mask < 1<<m; mask++ {
+		residual := make([]int, inst.NumElements())
+		for j, e := range inst.Elements {
+			residual[j] = e.Capacity
+		}
+		w := 0.0
+		ok := true
+	outer:
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for _, j := range members[i] {
+				residual[j]--
+				if residual[j] < 0 {
+					ok = false
+					break outer
+				}
+			}
+			w += inst.Weights[i]
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func randomInstance(rng *rand.Rand, maxM, maxN int) *setsystem.Instance {
+	var b setsystem.Builder
+	m := 2 + rng.Intn(maxM-1)
+	ids := make([]setsystem.SetID, m)
+	for i := range ids {
+		ids[i] = b.AddSet(float64(1 + rng.Intn(10)))
+	}
+	n := 2 + rng.Intn(maxN-1)
+	touched := make(map[setsystem.SetID]bool)
+	for j := 0; j < n; j++ {
+		sigma := 1 + rng.Intn(minInt(m, 4))
+		perm := rng.Perm(m)
+		mem := make([]setsystem.SetID, 0, sigma)
+		for _, p := range perm[:sigma] {
+			mem = append(mem, ids[p])
+			touched[ids[p]] = true
+		}
+		b.AddElementCap(1+rng.Intn(2), mem...)
+	}
+	for _, id := range ids {
+		if !touched[id] {
+			b.AddElement(id)
+		}
+	}
+	return b.MustBuild()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGreedyFeasibleAndBelowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 80; trial++ {
+		inst := randomInstance(rng, 12, 16)
+		g := Greedy(inst)
+		if err := Verify(inst, g); err != nil {
+			t.Fatalf("trial %d greedy infeasible: %v", trial, err)
+		}
+		sol, err := Exact(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Weight > sol.Weight+1e-9 {
+			t.Fatalf("trial %d: greedy %v > exact %v", trial, g.Weight, sol.Weight)
+		}
+	}
+}
+
+func TestNodeBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := randomInstance(rng, 14, 20)
+	_, err := ExactOpts(inst, Options{MaxNodes: 3})
+	if !errors.Is(err, ErrNodeBudget) {
+		t.Errorf("err = %v, want ErrNodeBudget", err)
+	}
+}
+
+func TestBestUpperBound(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	v, exact, err := BestUpperBound(inst, Options{})
+	if err != nil || !exact || v != 3 {
+		t.Errorf("BestUpperBound = %v,%v,%v want 3,true,nil", v, exact, err)
+	}
+	v2, exact2, err := BestUpperBound(inst, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact2 {
+		t.Error("budget 1 should not be exact")
+	}
+	if v2 < 3-1e-6 {
+		t.Errorf("LP fallback %v below integer OPT 3", v2)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	inst := triangle(t, 1, 2, 3)
+	if err := Verify(inst, &Solution{Sets: []setsystem.SetID{0, 1}, Weight: 3}); err == nil {
+		t.Error("Verify should reject over-capacity packing")
+	}
+	if err := Verify(inst, &Solution{Sets: []setsystem.SetID{0, 0}, Weight: 2}); err == nil {
+		t.Error("Verify should reject repeated set")
+	}
+	if err := Verify(inst, &Solution{Sets: []setsystem.SetID{0}, Weight: 2}); err == nil {
+		t.Error("Verify should reject wrong weight")
+	}
+	if err := Verify(inst, &Solution{Sets: []setsystem.SetID{9}, Weight: 0}); err == nil {
+		t.Error("Verify should reject out-of-range set")
+	}
+}
+
+func TestLPBoundTriangle(t *testing.T) {
+	// LP optimum of the triangle with unit weights is 1.5 (x_i = 1/2).
+	inst := triangle(t, 1, 1, 1)
+	v, err := LPBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.5) > 1e-6 {
+		t.Errorf("LPBound = %v, want 1.5", v)
+	}
+}
+
+func TestLPBoundDominatesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 10, 12)
+		sol, err := Exact(inst)
+		if err != nil {
+			return false
+		}
+		lp, err := LPBound(inst)
+		if err != nil {
+			t.Logf("LPBound: %v", err)
+			return false
+		}
+		return lp >= sol.Weight-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLPBoundEmpty(t *testing.T) {
+	v, err := LPBound(&setsystem.Instance{})
+	if err != nil || v != 0 {
+		t.Errorf("LPBound(empty) = %v, %v", v, err)
+	}
+}
+
+func TestSolveLPKnownOptimum(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → opt (2,6) value 36.
+	x, v, err := SolveLP(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-36) > 1e-6 {
+		t.Errorf("value = %v, want 36", v)
+	}
+	if math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want (2,6)", x)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	_, _, err := SolveLP([]float64{1}, [][]float64{{-1}}, []float64{1})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveLPRejectsNegativeRHS(t *testing.T) {
+	_, _, err := SolveLP([]float64{1}, [][]float64{{1}}, []float64{-1})
+	if err == nil {
+		t.Error("want error for negative rhs")
+	}
+}
+
+func TestSolveLPShapeErrors(t *testing.T) {
+	if _, _, err := SolveLP([]float64{1, 2}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("want error for row width mismatch")
+	}
+	if _, _, err := SolveLP([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("want error for rhs length mismatch")
+	}
+}
+
+func TestSolveLPDegenerate(t *testing.T) {
+	// Degenerate LP that cycles under naive pivoting; Bland's rule must
+	// terminate. (Classic Beale example, maximization form.)
+	c := []float64{0.75, -150, 0.02, -6}
+	a := [][]float64{
+		{0.25, -60, -1.0 / 25, 9},
+		{0.5, -90, -1.0 / 50, 3},
+		{0, 0, 1, 0},
+	}
+	rhs := []float64{0, 0, 1}
+	_, v, err := SolveLP(c, a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.05) > 1e-6 {
+		t.Errorf("Beale optimum = %v, want 0.05", v)
+	}
+}

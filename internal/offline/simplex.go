@@ -1,0 +1,157 @@
+package offline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// sparseEntry is one nonzero coefficient of a constraint row.
+type sparseEntry struct {
+	col int
+	val float64
+}
+
+// Errors reported by the simplex solver.
+var (
+	ErrUnbounded  = errors.New("offline: LP is unbounded")
+	ErrIterations = errors.New("offline: simplex iteration limit exceeded")
+)
+
+const simplexEps = 1e-9
+
+// simplexSparse maximizes c·x subject to Ax ≤ rhs, x ≥ 0, where A is given
+// as sparse rows and every rhs entry is non-negative (so the slack basis is
+// feasible and no phase-1 is needed — exactly the shape of the set-packing
+// relaxation). It returns the optimal x and objective value.
+//
+// The implementation is a dense-tableau primal simplex with Bland's rule,
+// which guarantees termination (no cycling) at the cost of speed; instance
+// sizes in this repository are small enough that robustness wins.
+func simplexSparse(c []float64, rows [][]sparseEntry, rhs []float64) ([]float64, float64, error) {
+	nVars := len(c)
+	nCons := len(rows)
+	for i, b := range rhs {
+		if b < 0 {
+			return nil, 0, fmt.Errorf("offline: rhs[%d] = %v negative; slack basis infeasible", i, b)
+		}
+	}
+
+	// Tableau layout: columns 0..nVars-1 original variables, then nCons
+	// slack columns, then the RHS column.
+	width := nVars + nCons + 1
+	tab := make([][]float64, nCons+1)
+	for i := range tab {
+		tab[i] = make([]float64, width)
+	}
+	for i, row := range rows {
+		for _, e := range row {
+			if e.col < 0 || e.col >= nVars {
+				return nil, 0, fmt.Errorf("offline: constraint %d references variable %d (nVars=%d)", i, e.col, nVars)
+			}
+			tab[i][e.col] += e.val
+		}
+		tab[i][nVars+i] = 1
+		tab[i][width-1] = rhs[i]
+	}
+	obj := tab[nCons]
+	for j, cj := range c {
+		obj[j] = -cj
+	}
+
+	// basis[i] is the variable basic in row i; initially the slacks.
+	basis := make([]int, nCons)
+	for i := range basis {
+		basis[i] = nVars + i
+	}
+
+	maxIters := 50 * (nVars + nCons + 10)
+	for iter := 0; iter < maxIters; iter++ {
+		// Bland's rule: entering variable = smallest index with negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < nVars+nCons; j++ {
+			if obj[j] < -simplexEps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return extract(tab, basis, nVars, nCons), obj[width-1], nil
+		}
+		// Ratio test; Bland tie-break on smallest basis variable.
+		leave := -1
+		bestRatio := 0.0
+		for i := 0; i < nCons; i++ {
+			a := tab[i][enter]
+			if a <= simplexEps {
+				continue
+			}
+			ratio := tab[i][width-1] / a
+			if leave == -1 || ratio < bestRatio-simplexEps ||
+				(ratio < bestRatio+simplexEps && basis[i] < basis[leave]) {
+				leave = i
+				bestRatio = ratio
+			}
+		}
+		if leave == -1 {
+			return nil, 0, ErrUnbounded
+		}
+		pivot(tab, leave, enter)
+		basis[leave] = enter
+	}
+	return nil, 0, ErrIterations
+}
+
+// pivot performs a full Gauss-Jordan pivot on (row, col).
+func pivot(tab [][]float64, row, col int) {
+	width := len(tab[row])
+	p := tab[row][col]
+	for j := 0; j < width; j++ {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+}
+
+// extract reads the primal solution out of the final tableau.
+func extract(tab [][]float64, basis []int, nVars, nCons int) []float64 {
+	x := make([]float64, nVars)
+	width := nVars + nCons + 1
+	for i, b := range basis {
+		if b < nVars {
+			x[b] = tab[i][width-1]
+		}
+	}
+	return x
+}
+
+// SolveLP maximizes c·x subject to dense constraints Ax ≤ rhs, x ≥ 0 with
+// non-negative rhs. It is the exported wrapper used by tests and by any
+// caller with a general small LP of this shape.
+func SolveLP(c []float64, a [][]float64, rhs []float64) ([]float64, float64, error) {
+	rows := make([][]sparseEntry, len(a))
+	for i, r := range a {
+		if len(r) != len(c) {
+			return nil, 0, fmt.Errorf("offline: row %d has %d coefficients, want %d", i, len(r), len(c))
+		}
+		for j, v := range r {
+			if v != 0 {
+				rows[i] = append(rows[i], sparseEntry{col: j, val: v})
+			}
+		}
+	}
+	if len(rows) != len(rhs) {
+		return nil, 0, fmt.Errorf("offline: %d rows, %d rhs entries", len(rows), len(rhs))
+	}
+	return simplexSparse(c, rows, rhs)
+}

@@ -1,0 +1,134 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lowerbound"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// Exact OPT on the Lemma 9 distribution must be at least the planted ℓ³
+// certificate (and equals it for ℓ=2, where every non-planted set
+// intersects the planting or another survivor heavily).
+func TestExactDominatesLemma9Certificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	li, err := lowerbound.NewLemma9(2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Exact(li.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight < 8 {
+		t.Errorf("exact OPT %v < planted ℓ³ = 8", sol.Weight)
+	}
+	if err := Verify(li.Inst, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Exact OPT on grid instances must be at least t (a full column).
+func TestExactDominatesGridCertificate(t *testing.T) {
+	for _, tt := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(tt)))
+		gi, err := lowerbound.NewGrid(tt, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Exact(gi.Inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Weight < float64(tt) {
+			t.Errorf("t=%d: exact OPT %v < t", tt, sol.Weight)
+		}
+	}
+}
+
+// On planted instances the exact optimum is at least the planted weight,
+// and greedy gets at least planted/k on unweighted instances (the
+// folklore k-approximation).
+func TestPlantedCertificates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pi, err := workload.Planted(workload.PlantedConfig{Planted: 6, K: 3, Noise: 12}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Exact(pi.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight < pi.PlantedWeight {
+		t.Errorf("exact %v < planted %v", sol.Weight, pi.PlantedWeight)
+	}
+	g := Greedy(pi.Inst)
+	if g.Weight*3 < sol.Weight-1e-9 {
+		t.Errorf("greedy %v below the k-approximation of OPT %v", g.Weight, sol.Weight)
+	}
+}
+
+// The LP bound on biregular unweighted instances equals n·(capacity)/k
+// when the fractional optimum saturates every element — at minimum it is
+// m/σ · something sane; here we just require LP ≥ IP and LP ≤ total weight.
+func TestLPBoundSandwichOnRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := workload.Regular(workload.RegularConfig{M: 12, K: 3, Sigma: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := LPBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp < ip.Weight-1e-6 {
+		t.Errorf("LP %v < IP %v", lp, ip.Weight)
+	}
+	if lp > inst.TotalWeight()+1e-6 {
+		t.Errorf("LP %v > total weight %v", lp, inst.TotalWeight())
+	}
+}
+
+// Greedy ties are broken deterministically: repeated runs identical.
+func TestGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := randomInstance(rng, 10, 14)
+	a := Greedy(inst)
+	b := Greedy(inst)
+	if a.Weight != b.Weight || len(a.Sets) != len(b.Sets) {
+		t.Error("greedy not deterministic")
+	}
+	for i := range a.Sets {
+		if a.Sets[i] != b.Sets[i] {
+			t.Error("greedy set choice not deterministic")
+		}
+	}
+}
+
+// Exact on an instance with a zero-weight set never includes it.
+func TestExactIgnoresZeroWeight(t *testing.T) {
+	var b setsystem.Builder
+	z := b.AddSet(0)
+	s := b.AddSet(1)
+	b.AddElement(z)
+	b.AddElement(s)
+	inst := b.MustBuild()
+	sol, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range sol.Sets {
+		if x == z {
+			t.Error("zero-weight set selected")
+		}
+	}
+	if sol.Weight != 1 {
+		t.Errorf("weight %v, want 1", sol.Weight)
+	}
+}

@@ -1,0 +1,309 @@
+// Package partial implements the third open problem of the paper's
+// Section 5: "What about the case where the set can be gained even if a
+// few elements are missing?" — partial-credit OSP, where a set pays its
+// weight if at most D of its elements were lost (D = 0 recovers standard
+// OSP).
+//
+// The package provides the relaxed objective (evaluating any run of the
+// standard engine under slack D), a slack-aware algorithm wrapper (a set
+// with d ≤ D losses is still worth fighting for), and an exact offline
+// solver for the relaxed problem via branch-and-bound with a max-flow
+// feasibility oracle. In the video reading, D > 0 models forward error
+// correction: a frame protected by D repair packets survives up to D
+// losses.
+package partial
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/setsystem"
+)
+
+// ErrBadSlack is returned for negative slack values.
+var ErrBadSlack = errors.New("partial: slack D must be >= 0")
+
+// Benefit evaluates a completed run under slack D: a set earns its weight
+// when it missed at most D of its elements. With D = 0 this equals
+// res.Benefit.
+func Benefit(inst *setsystem.Instance, res *core.Result, slack int) (float64, error) {
+	if slack < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSlack, slack)
+	}
+	var total float64
+	for i, sz := range inst.Sizes {
+		if sz-int(res.Assigned[i]) <= slack {
+			total += inst.Weights[i]
+		}
+	}
+	return total, nil
+}
+
+// CompletedUnder returns the sets that survive under slack D, ascending.
+func CompletedUnder(inst *setsystem.Instance, res *core.Result, slack int) ([]setsystem.SetID, error) {
+	if slack < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSlack, slack)
+	}
+	var out []setsystem.SetID
+	for i, sz := range inst.Sizes {
+		if sz-int(res.Assigned[i]) <= slack {
+			out = append(out, setsystem.SetID(i))
+		}
+	}
+	return out, nil
+}
+
+// SlackAware wraps an inner algorithm so that its notion of "still
+// completable" tolerates up to D losses: parents that are already beyond
+// salvage (more than D misses) are filtered out of the element view
+// before delegating, so the inner algorithm never wastes capacity on dead
+// sets — the D-tolerant analogue of the ActiveOnly refinement.
+type SlackAware struct {
+	// Inner is the wrapped algorithm (must not be nil).
+	Inner core.Algorithm
+	// Slack is D, the number of tolerated losses.
+	Slack int
+
+	buf []setsystem.SetID
+}
+
+var _ core.Algorithm = (*SlackAware)(nil)
+
+// Name implements core.Algorithm.
+func (a *SlackAware) Name() string {
+	if a.Inner == nil {
+		return fmt.Sprintf("slack%d(<nil>)", a.Slack)
+	}
+	return fmt.Sprintf("slack%d(%s)", a.Slack, a.Inner.Name())
+}
+
+// Reset implements core.Algorithm.
+func (a *SlackAware) Reset(info core.Info, rng *rand.Rand) error {
+	if a.Inner == nil {
+		return errors.New("partial: SlackAware needs an inner algorithm")
+	}
+	if a.Slack < 0 {
+		return fmt.Errorf("%w: %d", ErrBadSlack, a.Slack)
+	}
+	return a.Inner.Reset(info, rng)
+}
+
+// Choose implements core.Algorithm.
+func (a *SlackAware) Choose(ev core.ElementView) []setsystem.SetID {
+	a.buf = a.buf[:0]
+	for _, s := range ev.Members {
+		lost := ev.State.Arrived(s) - ev.State.Assigned(s)
+		if lost <= a.Slack {
+			a.buf = append(a.buf, s)
+		}
+	}
+	inner := ev
+	inner.Members = a.buf
+	return a.Inner.Choose(inner)
+}
+
+// Solution mirrors offline.Solution for the relaxed problem.
+type Solution struct {
+	Sets   []setsystem.SetID
+	Weight float64
+}
+
+// ExactRelaxed computes the offline optimum of partial-credit OSP by
+// branch-and-bound over set choices: selecting a set commits to serving
+// all but at most D of its elements. Feasibility of a candidate selection
+// is decided exactly by a max-flow argument: every element u that is
+// demanded by more than b(u) chosen sets must push its excess to "loser"
+// slots, and each chosen set can absorb at most D losses. The selection
+// is feasible iff the excess flow saturates.
+func ExactRelaxed(inst *setsystem.Instance, slack int, maxNodes int64) (*Solution, error) {
+	if slack < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSlack, slack)
+	}
+	if maxNodes <= 0 {
+		maxNodes = 5_000_000
+	}
+	m := inst.NumSets()
+	members := inst.MemberMatrix()
+
+	order := make([]setsystem.SetID, m)
+	for i := range order {
+		order[i] = setsystem.SetID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := inst.Weights[order[a]], inst.Weights[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	suffix := make([]float64, m+1)
+	for i := m - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + inst.Weights[order[i]]
+	}
+
+	var best float64
+	var bestSets []setsystem.SetID
+	var nodes int64
+	var overBudget bool
+	var chosen []setsystem.SetID
+
+	feasible := func() bool {
+		return loserFlowFeasible(inst, members, chosen, slack)
+	}
+
+	var dfs func(idx int, curWeight float64)
+	dfs = func(idx int, curWeight float64) {
+		if overBudget {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			overBudget = true
+			return
+		}
+		if curWeight > best {
+			best = curWeight
+			bestSets = append(bestSets[:0], chosen...)
+		}
+		if idx == m || curWeight+suffix[idx] <= best {
+			return
+		}
+		s := order[idx]
+		if inst.Weights[s] > 0 {
+			chosen = append(chosen, s)
+			if feasible() {
+				dfs(idx+1, curWeight+inst.Weights[s])
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		dfs(idx+1, curWeight)
+	}
+	dfs(0, 0)
+	if overBudget {
+		return nil, fmt.Errorf("partial: node budget exhausted after %d nodes", nodes)
+	}
+	sort.Slice(bestSets, func(i, j int) bool { return bestSets[i] < bestSets[j] })
+	return &Solution{Sets: bestSets, Weight: best}, nil
+}
+
+// loserFlowFeasible decides whether the chosen sets can all survive with
+// slack D. Flow network: source → element e with capacity
+// (demand_e − b(e)) for oversubscribed elements; element e → chosen set
+// index ci with capacity 1 (a set loses a given element at most once,
+// and only if it demands it); set ci → sink with capacity D. Feasible iff
+// max flow equals the total excess.
+func loserFlowFeasible(inst *setsystem.Instance, members [][]int, chosen []setsystem.SetID, slack int) bool {
+	demand := make(map[int][]int) // element -> chosen indices demanding it
+	for ci, s := range chosen {
+		for _, e := range members[s] {
+			demand[e] = append(demand[e], ci)
+		}
+	}
+	type overElem struct {
+		cis   []int
+		extra int
+	}
+	var overs []overElem
+	totalExcess := 0
+	for e, cis := range demand {
+		if x := len(cis) - inst.Elements[e].Capacity; x > 0 {
+			overs = append(overs, overElem{cis: cis, extra: x})
+			totalExcess += x
+		}
+	}
+	if totalExcess == 0 {
+		return true
+	}
+	if slack == 0 {
+		return false
+	}
+	// Quick necessary condition before running flow.
+	if totalExcess > slack*len(chosen) {
+		return false
+	}
+
+	// Node layout: 0 = source; 1..E = over-elements; E+1..E+C = chosen
+	// sets; E+C+1 = sink.
+	e, c := len(overs), len(chosen)
+	n := e + c + 2
+	src, sink := 0, n-1
+	g := newFlowGraph(n)
+	for i, o := range overs {
+		g.addEdge(src, 1+i, o.extra)
+		for _, ci := range o.cis {
+			g.addEdge(1+i, 1+e+ci, 1)
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		g.addEdge(1+e+ci, sink, slack)
+	}
+	return g.maxFlow(src, sink) == totalExcess
+}
+
+// flowGraph is a minimal adjacency-list max-flow structure
+// (Ford–Fulkerson with BFS augmentation — Edmonds–Karp), sized for the
+// tiny feasibility networks above.
+type flowGraph struct {
+	next [][]int // adjacency: node -> edge indices
+	to   []int
+	capa []int
+}
+
+func newFlowGraph(n int) *flowGraph {
+	return &flowGraph{next: make([][]int, n)}
+}
+
+func (g *flowGraph) addEdge(u, v, c int) {
+	g.next[u] = append(g.next[u], len(g.to))
+	g.to = append(g.to, v)
+	g.capa = append(g.capa, c)
+	g.next[v] = append(g.next[v], len(g.to))
+	g.to = append(g.to, u)
+	g.capa = append(g.capa, 0)
+}
+
+func (g *flowGraph) maxFlow(src, sink int) int {
+	total := 0
+	n := len(g.next)
+	parentEdge := make([]int, n)
+	for {
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+		parentEdge[src] = -2
+		queue := []int{src}
+		for len(queue) > 0 && parentEdge[sink] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.next[u] {
+				v := g.to[ei]
+				if parentEdge[v] == -1 && g.capa[ei] > 0 {
+					parentEdge[v] = ei
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parentEdge[sink] == -1 {
+			return total
+		}
+		// Find bottleneck along the path.
+		bottleneck := int(^uint(0) >> 1)
+		for v := sink; v != src; {
+			ei := parentEdge[v]
+			if g.capa[ei] < bottleneck {
+				bottleneck = g.capa[ei]
+			}
+			v = g.to[ei^1]
+		}
+		for v := sink; v != src; {
+			ei := parentEdge[v]
+			g.capa[ei] -= bottleneck
+			g.capa[ei^1] += bottleneck
+			v = g.to[ei^1]
+		}
+		total += bottleneck
+	}
+}

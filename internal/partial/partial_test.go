@@ -1,0 +1,297 @@
+package partial
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+func triangle(t *testing.T) *setsystem.Instance {
+	t.Helper()
+	var b setsystem.Builder
+	a := b.AddSet(1)
+	bb := b.AddSet(2)
+	c := b.AddSet(3)
+	b.AddElement(a, bb)
+	b.AddElement(a, c)
+	b.AddElement(bb, c)
+	return b.MustBuild()
+}
+
+func TestBenefitSlackZeroMatchesStandard(t *testing.T) {
+	inst := triangle(t)
+	res, err := core.Run(inst, &core.GreedyMaxWeight{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Benefit(inst, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Benefit {
+		t.Errorf("Benefit(D=0) = %v, want %v", got, res.Benefit)
+	}
+}
+
+func TestBenefitSlackRecoversLosses(t *testing.T) {
+	inst := triangle(t)
+	// greedyMaxWeight: u0→B, u1→C, u2→C. C complete; B missed 1; A missed 2.
+	res, err := core.Run(inst, &core.GreedyMaxWeight{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := Benefit(inst, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != 3+2+1 { // with D=1, A missed 2 → A excluded? A: assigned 0 of 2 → missed 2 > 1.
+		// A has 2 elements, both lost → not recovered at D=1.
+		if b1 != 5 {
+			t.Errorf("Benefit(D=1) = %v, want 5", b1)
+		}
+	}
+	b2, err := Benefit(inst, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != 6 {
+		t.Errorf("Benefit(D=2) = %v, want 6 (every set within slack)", b2)
+	}
+	sets, err := CompletedUnder(inst, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || sets[0] != 1 || sets[1] != 2 {
+		t.Errorf("CompletedUnder(D=1) = %v, want [1 2]", sets)
+	}
+}
+
+func TestBenefitMonotoneInSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 15, N: 40, Load: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(inst, &core.RandPr{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for d := 0; d <= 5; d++ {
+		b, err := Benefit(inst, res, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < prev {
+			t.Fatalf("Benefit not monotone: D=%d gives %v < %v", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBenefitRejectsNegativeSlack(t *testing.T) {
+	inst := triangle(t)
+	res, _ := core.Run(inst, &core.GreedyMaxWeight{}, nil)
+	if _, err := Benefit(inst, res, -1); !errors.Is(err, ErrBadSlack) {
+		t.Errorf("err = %v, want ErrBadSlack", err)
+	}
+	if _, err := CompletedUnder(inst, res, -1); !errors.Is(err, ErrBadSlack) {
+		t.Errorf("err = %v, want ErrBadSlack", err)
+	}
+}
+
+func TestSlackAwareWrapping(t *testing.T) {
+	inst := triangle(t)
+	alg := &SlackAware{Inner: &core.GreedyMaxWeight{}, Slack: 1}
+	res, err := core.Run(inst, alg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Benefit(inst, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Errorf("slack-aware benefit = %v", b)
+	}
+	if alg.Name() != "slack1(greedyMaxWeight)" {
+		t.Errorf("Name = %q", alg.Name())
+	}
+}
+
+func TestSlackAwareErrors(t *testing.T) {
+	inst := triangle(t)
+	if _, err := core.Run(inst, &SlackAware{Slack: 1}, nil); err == nil {
+		t.Error("nil inner should error")
+	}
+	if _, err := core.Run(inst, &SlackAware{Inner: &core.GreedyMaxWeight{}, Slack: -1}, nil); err == nil {
+		t.Error("negative slack should error")
+	}
+}
+
+// Slack-aware randPr should earn at least as much relaxed benefit as
+// plain randPr under the same priorities, on average.
+func TestSlackAwareHelpsOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 20, N: 60, Load: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slack = 1
+	var plain, aware float64
+	for seed := int64(0); seed < 60; seed++ {
+		res, err := core.Run(inst, &core.RandPr{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, _ := Benefit(inst, res, slack)
+		plain += bp
+
+		res, err = core.Run(inst, &SlackAware{Inner: &core.RandPr{}, Slack: slack},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, _ := Benefit(inst, res, slack)
+		aware += ba
+	}
+	if aware < plain {
+		t.Errorf("slack-aware total %v < plain %v", aware, plain)
+	}
+}
+
+func TestExactRelaxedSlackZeroMatchesStandardOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		inst, err := workload.Uniform(workload.UniformConfig{M: 8, N: 14, Load: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := ExactRelaxed(inst, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := offline.Exact(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relaxed.Weight != std.Weight {
+			t.Fatalf("trial %d: relaxed D=0 OPT %v != standard OPT %v", trial, relaxed.Weight, std.Weight)
+		}
+	}
+}
+
+func TestExactRelaxedMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 8, N: 14, Load: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := inst.TotalWeight()
+	prev := -1.0
+	for d := 0; d <= 3; d++ {
+		sol, err := ExactRelaxed(inst, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Weight < prev {
+			t.Fatalf("relaxed OPT not monotone in D: %v then %v", prev, sol.Weight)
+		}
+		if sol.Weight > total+1e-9 {
+			t.Fatalf("relaxed OPT %v exceeds total weight %v", sol.Weight, total)
+		}
+		prev = sol.Weight
+	}
+}
+
+func TestExactRelaxedTriangleWithSlack(t *testing.T) {
+	// Triangle: standard OPT = 3 (heaviest set). With D=1 every set can
+	// afford to lose one contested element: all three sets survive by
+	// each taking one of its two elements... element capacities are 1, so
+	// each element serves one set; 3 elements serve 3 sets, each set gets
+	// 1 of 2 elements → misses 1 ≤ D. OPT(D=1) = 6.
+	inst := triangle(t)
+	sol, err := ExactRelaxed(inst, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight != 6 {
+		t.Errorf("relaxed OPT(D=1) = %v, want 6", sol.Weight)
+	}
+}
+
+func TestExactRelaxedRejectsBadSlack(t *testing.T) {
+	inst := triangle(t)
+	if _, err := ExactRelaxed(inst, -1, 0); !errors.Is(err, ErrBadSlack) {
+		t.Errorf("err = %v, want ErrBadSlack", err)
+	}
+}
+
+func TestExactRelaxedNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 12, N: 20, Load: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactRelaxed(inst, 1, 2); err == nil {
+		t.Error("tiny node budget should be exhausted")
+	}
+}
+
+func TestLoserFlowFeasibleDirect(t *testing.T) {
+	// Two sets sharing two elements, D=1: each set can lose one shared
+	// element, so both survive.
+	var b setsystem.Builder
+	s0 := b.AddSet(1)
+	s1 := b.AddSet(1)
+	b.AddElement(s0, s1)
+	b.AddElement(s0, s1)
+	b.AddElement(s0)
+	b.AddElement(s1)
+	inst := b.MustBuild()
+	members := inst.MemberMatrix()
+	chosen := []setsystem.SetID{0, 1}
+	if !loserFlowFeasible(inst, members, chosen, 1) {
+		t.Error("D=1 should make both sets feasible")
+	}
+	if loserFlowFeasible(inst, members, chosen, 0) {
+		t.Error("D=0 should be infeasible (two shared contested elements)")
+	}
+	// D=1 with three shared elements: each set must lose ≥... 3 excess
+	// across two sets with budget 1 each → infeasible.
+	var b2 setsystem.Builder
+	t0 := b2.AddSet(1)
+	t1 := b2.AddSet(1)
+	b2.AddElement(t0, t1)
+	b2.AddElement(t0, t1)
+	b2.AddElement(t0, t1)
+	inst2 := b2.MustBuild()
+	if loserFlowFeasible(inst2, inst2.MemberMatrix(), []setsystem.SetID{0, 1}, 1) {
+		t.Error("3 contested elements with D=1 must be infeasible")
+	}
+}
+
+func TestMaxFlowSmall(t *testing.T) {
+	// Classic 4-node diamond: source 0, sink 3; capacities force flow 2.
+	g := newFlowGraph(4)
+	g.addEdge(0, 1, 1)
+	g.addEdge(0, 2, 1)
+	g.addEdge(1, 3, 1)
+	g.addEdge(2, 3, 1)
+	if got := g.maxFlow(0, 3); got != 2 {
+		t.Errorf("maxFlow = %d, want 2", got)
+	}
+	// Bottleneck in the middle.
+	g2 := newFlowGraph(4)
+	g2.addEdge(0, 1, 5)
+	g2.addEdge(1, 2, 2)
+	g2.addEdge(2, 3, 5)
+	if got := g2.maxFlow(0, 3); got != 2 {
+		t.Errorf("maxFlow = %d, want 2", got)
+	}
+}

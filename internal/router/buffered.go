@@ -1,0 +1,222 @@
+package router
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// This file implements the second open problem of the paper's Section 5
+// ("it is interesting to understand the effect of buffers on the
+// problem"): a bottleneck link preceded by a finite buffer of B packets.
+// Per slot, the burst joins the buffer, the link serves up to `capacity`
+// packets chosen by the policy, and the buffer then evicts down to B —
+// also by policy. B = 0 recovers bufferless OSP exactly (X13's
+// consistency check), connecting this model to the bounded-buffer setting
+// of Kesselman, Patt-Shamir and Scalosub (IPDPS 2009) cited in the
+// paper's related work.
+
+// BufferPolicy ranks packets: the simulator serves the highest-priority
+// buffered packets and evicts the lowest-priority ones on overflow.
+type BufferPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Reset is called once per simulation with the frame weights/sizes.
+	Reset(weights []float64, sizes []int, rng *rand.Rand) error
+	// Priority scores a packet at admission time; higher survives longer.
+	// seq is the packet's global arrival index (FIFO policies use it).
+	Priority(frame setsystem.SetID, seq int) float64
+}
+
+// RandPrBuffer ranks packets by their frame's R_w priority — the paper's
+// algorithm lifted to the buffered setting: eviction and service both
+// respect one persistent random priority per frame.
+type RandPrBuffer struct {
+	prio []float64
+}
+
+var _ BufferPolicy = (*RandPrBuffer)(nil)
+
+// Name implements BufferPolicy.
+func (p *RandPrBuffer) Name() string { return "randPrBuffer" }
+
+// Reset implements BufferPolicy.
+func (p *RandPrBuffer) Reset(weights []float64, _ []int, rng *rand.Rand) error {
+	if rng == nil {
+		return errors.New("router: randPrBuffer needs a random source")
+	}
+	p.prio = make([]float64, len(weights))
+	for i, w := range weights {
+		p.prio[i] = dist.Sample(rng, w)
+	}
+	return nil
+}
+
+// Priority implements BufferPolicy.
+func (p *RandPrBuffer) Priority(frame setsystem.SetID, _ int) float64 { return p.prio[frame] }
+
+// WeightBuffer ranks packets by frame weight (deterministic).
+type WeightBuffer struct {
+	weights []float64
+}
+
+var _ BufferPolicy = (*WeightBuffer)(nil)
+
+// Name implements BufferPolicy.
+func (p *WeightBuffer) Name() string { return "weightBuffer" }
+
+// Reset implements BufferPolicy.
+func (p *WeightBuffer) Reset(weights []float64, _ []int, _ *rand.Rand) error {
+	p.weights = weights
+	return nil
+}
+
+// Priority implements BufferPolicy.
+func (p *WeightBuffer) Priority(frame setsystem.SetID, _ int) float64 {
+	return p.weights[frame]
+}
+
+// FIFOBuffer is classic tail drop: earliest arrivals have the highest
+// priority, so service is FIFO and overflow drops the newest packets.
+type FIFOBuffer struct{}
+
+var _ BufferPolicy = FIFOBuffer{}
+
+// Name implements BufferPolicy.
+func (FIFOBuffer) Name() string { return "fifoTaildrop" }
+
+// Reset implements BufferPolicy.
+func (FIFOBuffer) Reset([]float64, []int, *rand.Rand) error { return nil }
+
+// Priority implements BufferPolicy.
+func (FIFOBuffer) Priority(_ setsystem.SetID, seq int) float64 { return -float64(seq) }
+
+// bufPacket is one packet in flight.
+type bufPacket struct {
+	frame setsystem.SetID
+	prio  float64
+	seq   int
+}
+
+// packetHeap is a max-heap on (prio, -seq).
+type packetHeap []bufPacket
+
+func (h packetHeap) Len() int { return len(h) }
+func (h packetHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h packetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *packetHeap) Push(x interface{}) { *h = append(*h, x.(bufPacket)) }
+func (h *packetHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SimulateBuffered runs the video trace through a link with a B-packet
+// buffer under the given policy. Each slot: the burst is admitted, the
+// link serves up to the slot's capacity (highest priority first), and the
+// buffer evicts down to B (lowest priority first). After the last burst
+// the buffer drains at the trace's final capacity. With B = 0 the
+// simulation is exactly bufferless OSP under the same priorities.
+func SimulateBuffered(vi *workload.VideoInstance, policy BufferPolicy, bufferSize int, rng *rand.Rand) (*Report, error) {
+	if bufferSize < 0 {
+		return nil, fmt.Errorf("router: negative buffer size %d", bufferSize)
+	}
+	if policy == nil {
+		return nil, errors.New("router: nil buffer policy")
+	}
+	inst := vi.Inst
+	if err := policy.Reset(inst.Weights, inst.Sizes, rng); err != nil {
+		return nil, err
+	}
+
+	served := make([]int, inst.NumSets())
+	dead := make([]bool, inst.NumSets())
+	var buf packetHeap
+	seq := 0
+	servedTotal := 0
+	lastCap := 1
+
+	serveAndEvict := func(capacity int) {
+		// Serve up to capacity highest-priority packets of live frames.
+		for c := 0; c < capacity && buf.Len() > 0; {
+			p := heap.Pop(&buf).(bufPacket)
+			if dead[p.frame] {
+				continue // free disposal of packets of doomed frames
+			}
+			served[p.frame]++
+			servedTotal++
+			c++
+		}
+		// Evict down to the buffer size, lowest priority first. Popping
+		// from a max-heap yields the highest, so rebuild: collect all,
+		// keep the top bufferSize.
+		if buf.Len() > bufferSize {
+			all := make([]bufPacket, 0, buf.Len())
+			for buf.Len() > 0 {
+				all = append(all, heap.Pop(&buf).(bufPacket))
+			}
+			for _, p := range all[:bufferSize] {
+				heap.Push(&buf, p)
+			}
+			for _, p := range all[bufferSize:] {
+				dead[p.frame] = true
+			}
+		}
+	}
+
+	for _, e := range inst.Elements {
+		for _, f := range e.Members {
+			heap.Push(&buf, bufPacket{frame: f, prio: policy.Priority(f, seq), seq: seq})
+			seq++
+		}
+		lastCap = e.Capacity
+		serveAndEvict(e.Capacity)
+	}
+	// Drain phase: the link keeps serving after arrivals stop.
+	for buf.Len() > 0 {
+		serveAndEvict(lastCap)
+	}
+
+	rep := &Report{
+		FramesOffered: inst.NumSets(),
+		WeightOffered: inst.TotalWeight(),
+		PacketsServed: servedTotal,
+	}
+	for _, sz := range inst.Sizes {
+		rep.PacketsOffered += sz
+	}
+	rep.ByClass = make(map[string]ClassReport, 4)
+	for i, sz := range inst.Sizes {
+		class := ""
+		if i < len(vi.Class) {
+			class = vi.Class[i]
+		}
+		cr := rep.ByClass[class]
+		cr.Offered++
+		if !dead[i] && served[i] == sz {
+			rep.FramesDelivered++
+			rep.WeightDelivered += inst.Weights[i]
+			cr.Delivered++
+		}
+		rep.ByClass[class] = cr
+	}
+	return rep, nil
+}
+
+// BufferPolicies returns the policies compared by the buffered-router
+// experiment.
+func BufferPolicies() []BufferPolicy {
+	return []BufferPolicy{&RandPrBuffer{}, &WeightBuffer{}, FIFOBuffer{}}
+}

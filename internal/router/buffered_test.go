@@ -1,0 +1,124 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSimulateBufferedValidation(t *testing.T) {
+	vi := videoInstance(t, 1)
+	if _, err := SimulateBuffered(vi, nil, 4, nil); err == nil {
+		t.Error("nil policy should error")
+	}
+	if _, err := SimulateBuffered(vi, &RandPrBuffer{}, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative buffer should error")
+	}
+	if _, err := SimulateBuffered(vi, &RandPrBuffer{}, 4, nil); err == nil {
+		t.Error("randPrBuffer without rng should error")
+	}
+}
+
+func TestSimulateBufferedAccounting(t *testing.T) {
+	vi := videoInstance(t, 2)
+	for _, policy := range BufferPolicies() {
+		for _, bufSize := range []int{0, 2, 8} {
+			rep, err := SimulateBuffered(vi, policy, bufSize, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatalf("%s B=%d: %v", policy.Name(), bufSize, err)
+			}
+			if rep.FramesDelivered < 0 || rep.FramesDelivered > rep.FramesOffered {
+				t.Errorf("%s B=%d: delivered %d of %d", policy.Name(), bufSize, rep.FramesDelivered, rep.FramesOffered)
+			}
+			if rep.WeightDelivered > rep.WeightOffered+1e-9 {
+				t.Errorf("%s B=%d: weight %v > offered %v", policy.Name(), bufSize, rep.WeightDelivered, rep.WeightOffered)
+			}
+			if rep.PacketsServed > rep.PacketsOffered {
+				t.Errorf("%s B=%d: served %d > offered %d", policy.Name(), bufSize, rep.PacketsServed, rep.PacketsOffered)
+			}
+		}
+	}
+}
+
+// With B=0 the buffered simulator degenerates to bufferless OSP under the
+// same priorities: randPrBuffer(B=0) must match core.RandPr{ActiveOnly}
+// run with the same seed (identical priority draws).
+func TestBufferZeroMatchesOSP(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		vi := videoInstance(t, seed)
+		bufRep, err := SimulateBuffered(vi, &RandPrBuffer{}, 0, rand.New(rand.NewSource(seed+50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ospRep, err := Simulate(vi, &core.RandPr{ActiveOnly: true}, rand.New(rand.NewSource(seed+50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bufRep.WeightDelivered != ospRep.WeightDelivered {
+			t.Errorf("seed %d: buffered B=0 %v != OSP %v", seed, bufRep.WeightDelivered, ospRep.WeightDelivered)
+		}
+	}
+}
+
+// Buffers should help on average: goodput with B=8 must be at least the
+// B=0 goodput summed over seeds, for every policy.
+func TestBuffersHelpOnAverage(t *testing.T) {
+	for _, policy := range BufferPolicies() {
+		var b0, b8 float64
+		for seed := int64(0); seed < 25; seed++ {
+			vi := videoInstance(t, seed)
+			rep0, err := SimulateBuffered(vi, policy, 0, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep8, err := SimulateBuffered(vi, policy, 8, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b0 += rep0.WeightDelivered
+			b8 += rep8.WeightDelivered
+		}
+		if b8 < b0 {
+			t.Errorf("%s: B=8 total %v < B=0 total %v — buffers should help", policy.Name(), b8, b0)
+		}
+	}
+}
+
+// A large enough buffer delivers everything: with B ≥ total packets and
+// drain, no packet is ever evicted.
+func TestHugeBufferDeliversAll(t *testing.T) {
+	vi := videoInstance(t, 9)
+	rep, err := SimulateBuffered(vi, FIFOBuffer{}, vi.TotalPackets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesDelivered != rep.FramesOffered {
+		t.Errorf("huge buffer delivered %d of %d", rep.FramesDelivered, rep.FramesOffered)
+	}
+	if rep.PacketsServed != rep.PacketsOffered {
+		t.Errorf("huge buffer served %d of %d packets", rep.PacketsServed, rep.PacketsOffered)
+	}
+}
+
+func TestPacketHeapOrdering(t *testing.T) {
+	h := packetHeap{
+		{frame: 0, prio: 0.5, seq: 2},
+		{frame: 1, prio: 0.9, seq: 1},
+		{frame: 2, prio: 0.9, seq: 0},
+	}
+	// Less: higher prio first; ties by lower seq.
+	if !h.Less(2, 0) {
+		t.Error("higher priority should rank first")
+	}
+	if !h.Less(2, 1) {
+		t.Error("equal priority should tie-break by seq")
+	}
+}
+
+func TestFIFOBufferPriority(t *testing.T) {
+	var p FIFOBuffer
+	if p.Priority(0, 1) <= p.Priority(0, 2) {
+		t.Error("earlier packets must outrank later ones")
+	}
+}

@@ -1,0 +1,97 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashpr"
+	"repro/internal/workload"
+)
+
+// A fatter link (capacity 2) must deliver at least as much as capacity 1
+// on the same trace shape, for the randomized policy, on average.
+func TestLinkCapacityMonotone(t *testing.T) {
+	var cap1, cap2 float64
+	for seed := int64(0); seed < 20; seed++ {
+		rng1 := rand.New(rand.NewSource(seed))
+		v1, err := workload.Video(workload.VideoConfig{
+			Streams: 6, FramesPerStream: 10, Jitter: 2, LinkCapacity: 1,
+		}, rng1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng2 := rand.New(rand.NewSource(seed))
+		v2, err := workload.Video(workload.VideoConfig{
+			Streams: 6, FramesPerStream: 10, Jitter: 2, LinkCapacity: 2,
+		}, rng2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := Simulate(v1, &core.RandPr{}, rand.New(rand.NewSource(seed+100)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Simulate(v2, &core.RandPr{}, rand.New(rand.NewSource(seed+100)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap1 += r1.WeightDelivered
+		cap2 += r2.WeightDelivered
+	}
+	if cap2 < cap1 {
+		t.Errorf("capacity-2 goodput %v < capacity-1 %v", cap2, cap1)
+	}
+}
+
+// Multihop with per-cell capacity 2 delivers at least as much as capacity
+// 1 on identical routes.
+func TestMultihopCapacityMonotone(t *testing.T) {
+	var c1, c2 float64
+	for seed := int64(0); seed < 15; seed++ {
+		rngA := rand.New(rand.NewSource(seed))
+		m1, err := workload.Multihop(workload.MultihopConfig{
+			Hops: 6, Packets: 80, Horizon: 12, Capacity: 1,
+		}, rngA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rngB := rand.New(rand.NewSource(seed))
+		m2, err := workload.Multihop(workload.MultihopConfig{
+			Hops: 6, Packets: 80, Horizon: 12, Capacity: 2,
+		}, rngB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n1, _, err := SimulateMultihop(m1, hashpr.Mixer{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n2, _, err := SimulateMultihop(m2, hashpr.Mixer{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 += n1.WeightDelivered
+		c2 += n2.WeightDelivered
+	}
+	if c2 < c1 {
+		t.Errorf("capacity-2 deliveries %v < capacity-1 %v", c2, c1)
+	}
+}
+
+// Bursty traces run cleanly through both simulators.
+func TestBurstyThroughSimulators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vi, err := workload.Bursty(workload.BurstyConfig{Streams: 6, Frames: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(vi, &core.RandPr{}, rand.New(rand.NewSource(6))); err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range BufferPolicies() {
+		if _, err := SimulateBuffered(vi, policy, 4, rand.New(rand.NewSource(7))); err != nil {
+			t.Fatalf("%s: %v", policy.Name(), err)
+		}
+	}
+}

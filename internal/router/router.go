@@ -1,0 +1,136 @@
+// Package router provides the systems-level simulators of the paper's
+// motivating scenarios: a bottleneck router dropping packets of
+// multi-packet video frames (Section 1, paragraph 1) and a line network of
+// switches serving multi-hop packets (Section 1, paragraph 2). Both reduce
+// to OSP; the simulators add the domain bookkeeping (goodput, per-class
+// delivery, drop propagation) that the abstract engine does not track.
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// ClassReport aggregates delivery per frame class ("I", "P", "B", …).
+type ClassReport struct {
+	Offered   int
+	Delivered int
+}
+
+// Report summarizes a simulation run.
+type Report struct {
+	// FramesOffered and FramesDelivered count sets (frames/packets).
+	FramesOffered   int
+	FramesDelivered int
+	// WeightOffered and WeightDelivered are the corresponding weights;
+	// WeightDelivered is the OSP benefit (goodput in frame value).
+	WeightOffered   float64
+	WeightDelivered float64
+	// PacketsOffered counts (set, element) memberships; PacketsServed
+	// counts assignments made by the policy.
+	PacketsOffered int
+	PacketsServed  int
+	// ByClass breaks frames down per class when class metadata exists.
+	ByClass map[string]ClassReport
+}
+
+// GoodputFraction returns delivered weight over offered weight.
+func (r *Report) GoodputFraction() float64 {
+	if r.WeightOffered == 0 {
+		return 0
+	}
+	return r.WeightDelivered / r.WeightOffered
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("frames %d/%d, weight %.1f/%.1f (%.1f%%), packets served %d/%d",
+		r.FramesDelivered, r.FramesOffered, r.WeightDelivered, r.WeightOffered,
+		100*r.GoodputFraction(), r.PacketsServed, r.PacketsOffered)
+}
+
+// Simulate runs a drop policy over the video workload, slot by slot: each
+// slot's burst is an OSP element, and the policy picks which packets the
+// link serves. It returns the goodput report.
+func Simulate(vi *workload.VideoInstance, alg core.Algorithm, rng *rand.Rand) (*Report, error) {
+	res, err := core.Run(vi.Inst, alg, rng)
+	if err != nil {
+		return nil, err
+	}
+	rep := buildReport(vi.Inst, res)
+	rep.ByClass = make(map[string]ClassReport, 4)
+	for i, class := range vi.Class {
+		cr := rep.ByClass[class]
+		cr.Offered++
+		if res.Completes(setsystem.SetID(i)) {
+			cr.Delivered++
+		}
+		rep.ByClass[class] = cr
+	}
+	return rep, nil
+}
+
+func buildReport(inst *setsystem.Instance, res *core.Result) *Report {
+	rep := &Report{
+		FramesOffered:   inst.NumSets(),
+		FramesDelivered: len(res.Completed),
+		WeightOffered:   inst.TotalWeight(),
+		WeightDelivered: res.Benefit,
+	}
+	for _, sz := range inst.Sizes {
+		rep.PacketsOffered += sz
+	}
+	for _, a := range res.Assigned {
+		rep.PacketsServed += int(a)
+	}
+	return rep
+}
+
+// CompareTaildrop runs the classic size-oblivious baseline: serve the
+// burst's packets in arrival order (lowest frame ID first) up to link
+// capacity — i.e. greedyFirstListed without the active filter. It is the
+// policy a FIFO queue with tail drop implements.
+type Taildrop struct {
+	buf []setsystem.SetID
+}
+
+var _ core.Algorithm = (*Taildrop)(nil)
+
+// Name implements core.Algorithm.
+func (a *Taildrop) Name() string { return "taildrop" }
+
+// Reset implements core.Algorithm.
+func (a *Taildrop) Reset(core.Info, *rand.Rand) error { return nil }
+
+// Choose implements core.Algorithm: first Capacity members, active or not.
+func (a *Taildrop) Choose(ev core.ElementView) []setsystem.SetID {
+	k := ev.Capacity
+	if k > len(ev.Members) {
+		k = len(ev.Members)
+	}
+	a.buf = append(a.buf[:0], ev.Members[:k]...)
+	return a.buf
+}
+
+// Policies returns the router drop policies compared in the video
+// experiment, keyed by display order.
+func Policies() []core.Algorithm {
+	return []core.Algorithm{
+		&core.RandPr{},
+		&core.RandPr{ActiveOnly: true},
+		&core.GreedyMaxWeight{},
+		&core.GreedyFewestRemaining{},
+		&Taildrop{},
+		&core.UniformRandom{},
+	}
+}
+
+// sortIDs sorts a SetID slice ascending (shared helper).
+func sortIDs(ids []setsystem.SetID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,187 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+func videoInstance(t *testing.T, seed int64) *workload.VideoInstance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vi, err := workload.Video(workload.VideoConfig{
+		Streams: 6, FramesPerStream: 16, Jitter: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vi
+}
+
+func TestSimulateReportAccounting(t *testing.T) {
+	vi := videoInstance(t, 1)
+	rep, err := Simulate(vi, &core.RandPr{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesOffered != vi.Inst.NumSets() {
+		t.Errorf("FramesOffered = %d, want %d", rep.FramesOffered, vi.Inst.NumSets())
+	}
+	if rep.PacketsOffered != vi.TotalPackets {
+		t.Errorf("PacketsOffered = %d, want %d", rep.PacketsOffered, vi.TotalPackets)
+	}
+	if rep.FramesDelivered < 0 || rep.FramesDelivered > rep.FramesOffered {
+		t.Errorf("FramesDelivered = %d out of range", rep.FramesDelivered)
+	}
+	if rep.WeightDelivered > rep.WeightOffered {
+		t.Errorf("delivered weight %v > offered %v", rep.WeightDelivered, rep.WeightOffered)
+	}
+	if g := rep.GoodputFraction(); g < 0 || g > 1 {
+		t.Errorf("GoodputFraction = %v", g)
+	}
+	// Class breakdown sums to totals.
+	var offered, delivered int
+	for _, cr := range rep.ByClass {
+		offered += cr.Offered
+		delivered += cr.Delivered
+	}
+	if offered != rep.FramesOffered || delivered != rep.FramesDelivered {
+		t.Errorf("class sums %d/%d != totals %d/%d", delivered, offered, rep.FramesDelivered, rep.FramesOffered)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestGoodputFractionEmpty(t *testing.T) {
+	var r Report
+	if r.GoodputFraction() != 0 {
+		t.Error("empty report goodput should be 0")
+	}
+}
+
+func TestTaildropValid(t *testing.T) {
+	vi := videoInstance(t, 3)
+	rep, err := Simulate(vi, &Taildrop{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesDelivered < 0 {
+		t.Error("negative deliveries")
+	}
+}
+
+// randPr should beat taildrop on bursty multi-stream video (the paper's
+// central systems claim). Averaged over seeds to avoid flakes.
+func TestRandPrBeatsTaildropOnVideo(t *testing.T) {
+	var randTotal, tailTotal float64
+	for seed := int64(0); seed < 30; seed++ {
+		vi := videoInstance(t, seed)
+		rrep, err := Simulate(vi, &core.RandPr{}, rand.New(rand.NewSource(seed+1000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trep, err := Simulate(vi, &Taildrop{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += rrep.WeightDelivered
+		tailTotal += trep.WeightDelivered
+	}
+	if randTotal <= tailTotal {
+		t.Errorf("randPr total goodput %v <= taildrop %v", randTotal, tailTotal)
+	}
+}
+
+func TestPoliciesRunClean(t *testing.T) {
+	vi := videoInstance(t, 5)
+	for _, alg := range Policies() {
+		if _, err := Simulate(vi, alg, rand.New(rand.NewSource(9))); err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestSimulateMultihop(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mi, err := workload.Multihop(workload.MultihopConfig{
+		Hops: 8, Packets: 120, Horizon: 20,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, abstract, err := SimulateMultihop(mi, hashpr.Mixer{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop propagation can only help: the real network delivers at least
+	// as much as the abstract OSP run the analysis bounds.
+	if network.WeightDelivered < abstract.WeightDelivered {
+		t.Errorf("network %v < abstract %v — drop propagation should only help",
+			network.WeightDelivered, abstract.WeightDelivered)
+	}
+	if network.FramesOffered != 120 || abstract.FramesOffered != 120 {
+		t.Error("frame counts wrong")
+	}
+	if network.PacketsServed < abstract.PacketsServed {
+		// Not necessarily true packet-wise... but served counts only track
+		// service events; skip strictness, just sanity.
+		t.Logf("note: network served %d, abstract %d", network.PacketsServed, abstract.PacketsServed)
+	}
+}
+
+func TestSimulateMultihopNilHasher(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mi, err := workload.Multihop(workload.MultihopConfig{Hops: 3, Packets: 5, Horizon: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SimulateMultihop(mi, nil); err == nil {
+		t.Error("want error for nil hasher")
+	}
+}
+
+// Two switches with the same seed decide consistently: simulate twice and
+// compare.
+func TestMultihopDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mi, err := workload.Multihop(workload.MultihopConfig{Hops: 5, Packets: 60, Horizon: 12}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, a1, err := SimulateMultihop(mi, hashpr.Mixer{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, a2, err := SimulateMultihop(mi, hashpr.Mixer{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.WeightDelivered != n2.WeightDelivered || a1.WeightDelivered != a2.WeightDelivered {
+		t.Error("multihop simulation not deterministic under a fixed seed")
+	}
+}
+
+func TestSortByPriority(t *testing.T) {
+	prio := []float64{0.1, 0.9, 0.5, 0.9}
+	ids := []setsystem.SetID{0, 1, 2, 3}
+	sortByPriority(ids, prio)
+	want := []setsystem.SetID{1, 3, 2, 0} // ties (1,3) break to lower id
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []setsystem.SetID{3, 1, 2}
+	sortIDs(ids)
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("sortIDs = %v", ids)
+	}
+}

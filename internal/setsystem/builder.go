@@ -1,0 +1,115 @@
+package setsystem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles an Instance incrementally. Declare sets first (weights),
+// then append elements in arrival order; Build derives the declared sizes
+// from the memberships, so callers never state sizes by hand.
+//
+// The zero value is ready to use.
+type Builder struct {
+	weights  []float64
+	elements []Element
+	err      error
+}
+
+// AddSet declares a new set with the given weight and returns its SetID.
+// Weights must be non-negative; violations are reported by Build.
+func (b *Builder) AddSet(weight float64) SetID {
+	if weight < 0 && b.err == nil {
+		b.err = fmt.Errorf("%w: set %d has weight %v", ErrNegativeWeight, len(b.weights), weight)
+	}
+	b.weights = append(b.weights, weight)
+	return SetID(len(b.weights) - 1)
+}
+
+// AddSets declares count sets of the given uniform weight and returns their
+// IDs.
+func (b *Builder) AddSets(count int, weight float64) []SetID {
+	ids := make([]SetID, count)
+	for i := range ids {
+		ids[i] = b.AddSet(weight)
+	}
+	return ids
+}
+
+// AddElement appends a unit-capacity element belonging to the given sets.
+func (b *Builder) AddElement(members ...SetID) {
+	b.AddElementCap(1, members...)
+}
+
+// AddElementCap appends an element with capacity cap belonging to the given
+// sets. The member list is copied, sorted and deduplicated.
+func (b *Builder) AddElementCap(capacity int, members ...SetID) {
+	ms := append([]SetID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	ms = dedupe(ms)
+	if b.err == nil {
+		switch {
+		case capacity < 1:
+			b.err = fmt.Errorf("%w: element %d has capacity %d", ErrBadCapacity, len(b.elements), capacity)
+		case len(ms) == 0:
+			b.err = fmt.Errorf("%w: element %d", ErrEmptyElement, len(b.elements))
+		}
+	}
+	b.elements = append(b.elements, Element{Members: ms, Capacity: capacity})
+}
+
+// NumSets returns the number of sets declared so far.
+func (b *Builder) NumSets() int { return len(b.weights) }
+
+// NumElements returns the number of elements appended so far.
+func (b *Builder) NumElements() int { return len(b.elements) }
+
+// Build finalizes the instance, deriving set sizes from memberships, and
+// validates it. It returns the first construction error encountered, if
+// any.
+func (b *Builder) Build() (*Instance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	sizes := make([]int, len(b.weights))
+	for _, e := range b.elements {
+		for _, s := range e.Members {
+			if int(s) >= len(sizes) || s < 0 {
+				return nil, fmt.Errorf("%w: set %d (m=%d)", ErrMemberRange, s, len(sizes))
+			}
+			sizes[s]++
+		}
+	}
+	in := &Instance{
+		Weights:  append([]float64(nil), b.weights...),
+		Sizes:    sizes,
+		Elements: append([]Element(nil), b.elements...),
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// MustBuild is Build for tests and examples with known-good inputs; it
+// panics on error.
+func (b *Builder) MustBuild() *Instance {
+	in, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func dedupe(ms []SetID) []SetID {
+	if len(ms) < 2 {
+		return ms
+	}
+	out := ms[:1]
+	for _, s := range ms[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package setsystem
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a line-oriented text format for OSP instances, so
+// traces can be saved, shipped and replayed (cmd/osptrace). The format is
+// deliberately trivial to parse with anything:
+//
+//	osp 1                     header: format name and version
+//	# free-form comments
+//	set <weight>              one line per set, in SetID order
+//	elem <capacity> <id> ...  one line per element, in arrival order
+//
+// Declared sizes are derived on decode, exactly as the Builder does.
+
+// codecVersion is the current format version.
+const codecVersion = 1
+
+// ErrCodec wraps all parse errors.
+var ErrCodec = errors.New("setsystem: codec")
+
+// Encode writes the instance in the text format.
+func Encode(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "osp %d\n", codecVersion); err != nil {
+		return err
+	}
+	for _, wt := range in.Weights {
+		if _, err := fmt.Fprintf(bw, "set %s\n", strconv.FormatFloat(wt, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for _, e := range in.Elements {
+		if _, err := fmt.Fprintf(bw, "elem %d", e.Capacity); err != nil {
+			return err
+		}
+		for _, s := range e.Members {
+			if _, err := fmt.Fprintf(bw, " %d", s); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses an instance from the text format and validates it.
+func Decode(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	line := 0
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			return text, true
+		}
+		return "", false
+	}
+
+	header, ok := readLine()
+	if !ok {
+		return nil, fmt.Errorf("%w: empty input", ErrCodec)
+	}
+	var version int
+	if _, err := fmt.Sscanf(header, "osp %d", &version); err != nil {
+		return nil, fmt.Errorf("%w: line %d: bad header %q", ErrCodec, line, header)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
+	}
+
+	var b Builder
+	for {
+		text, ok := readLine()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "set":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: set needs exactly one weight", ErrCodec, line)
+			}
+			wt, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrCodec, line, err)
+			}
+			b.AddSet(wt)
+		case "elem":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%w: line %d: elem needs capacity and at least one set", ErrCodec, line)
+			}
+			capacity, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrCodec, line, err)
+			}
+			members := make([]SetID, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				id, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrCodec, line, err)
+				}
+				members = append(members, SetID(id))
+			}
+			b.AddElementCap(capacity, members...)
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrCodec, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return inst, nil
+}

@@ -1,0 +1,131 @@
+package setsystem
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := tinyInstance(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInstancesEqual(t, in, out)
+}
+
+func assertInstancesEqual(t *testing.T, a, b *Instance) {
+	t.Helper()
+	if a.NumSets() != b.NumSets() || a.NumElements() != b.NumElements() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", a.NumSets(), a.NumElements(), b.NumSets(), b.NumElements())
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] || a.Sizes[i] != b.Sizes[i] {
+			t.Fatalf("set %d differs", i)
+		}
+	}
+	for j := range a.Elements {
+		ea, eb := a.Elements[j], b.Elements[j]
+		if ea.Capacity != eb.Capacity || len(ea.Members) != len(eb.Members) {
+			t.Fatalf("element %d differs", j)
+		}
+		for x := range ea.Members {
+			if ea.Members[x] != eb.Members[x] {
+				t.Fatalf("element %d member %d differs", j, x)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng)
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			return false
+		}
+		out, err := Decode(&buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return Compute(in) == Compute(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCommentsAndBlankLines(t *testing.T) {
+	src := `osp 1
+# a comment
+
+set 1.5
+set 2
+
+# elements
+elem 1 0 1
+elem 2 0
+elem 1 1
+`
+	in, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumSets() != 2 || in.NumElements() != 3 {
+		t.Errorf("decoded shape (%d,%d)", in.NumSets(), in.NumElements())
+	}
+	if in.Weights[0] != 1.5 || in.Elements[1].Capacity != 2 {
+		t.Error("decoded values wrong")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"bad header", "hello\n"},
+		{"bad version", "osp 99\nset 1\nelem 1 0\n"},
+		{"set arity", "osp 1\nset 1 2\n"},
+		{"set weight", "osp 1\nset abc\n"},
+		{"elem arity", "osp 1\nset 1\nelem 1\n"},
+		{"elem capacity", "osp 1\nset 1\nelem x 0\n"},
+		{"elem member", "osp 1\nset 1\nelem 1 z\n"},
+		{"unknown directive", "osp 1\nfrob 1\n"},
+		{"out of range member", "osp 1\nset 1\nelem 1 5\n"},
+		{"invalid instance", "osp 1\nset -1\nelem 1 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.src)); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: err = %v, want ErrCodec", c.name, err)
+		}
+	}
+}
+
+func TestEncodePreservesWeightPrecision(t *testing.T) {
+	var b Builder
+	s := b.AddSet(0.1234567890123456)
+	b.AddElement(s)
+	in := b.MustBuild()
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Weights[0] != in.Weights[0] {
+		t.Errorf("weight %v != %v after round trip", out.Weights[0], in.Weights[0])
+	}
+}

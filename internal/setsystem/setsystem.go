@@ -1,0 +1,217 @@
+// Package setsystem defines weighted set systems with online element
+// arrival, the combinatorial substrate of the online set packing (OSP)
+// problem of Emek, Halldórsson, Mansour, Patt-Shamir, Radhakrishnan and
+// Rawitz (PODC 2010).
+//
+// A set system consists of m sets over n elements. Each set S has a
+// non-negative weight w(S) and a declared size |S| (the number of its
+// elements, known to an online algorithm up front). Elements arrive one by
+// one; element u arrives together with its capacity b(u) and the list C(u)
+// of sets that contain it. In the paper's packet-network reading, elements
+// are time steps, sets are multi-packet data frames, the capacity is the
+// link rate, and C(u) lists the frames with a packet in the burst arriving
+// at time u.
+package setsystem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SetID identifies a set within an Instance. IDs are dense indices in
+// [0, m): the i-th declared set has SetID(i).
+type SetID int32
+
+// Element is one online arrival: the identifiers of all sets containing
+// this element, and the number of sets the element may be assigned to
+// (the paper's b(u); 1 in the unit-capacity model).
+type Element struct {
+	// Members lists the parent sets C(u) in strictly increasing SetID
+	// order with no duplicates.
+	Members []SetID
+	// Capacity is b(u) >= 1, the number of parent sets this element may
+	// be assigned to.
+	Capacity int
+}
+
+// Load returns the element's load σ(u) = |C(u)|.
+func (e Element) Load() int { return len(e.Members) }
+
+// AdjustedLoad returns ν(u) = σ(u)/b(u), the paper's demand-to-supply
+// ratio for variable-capacity instances (Definition 1).
+func (e Element) AdjustedLoad() float64 {
+	if e.Capacity <= 0 {
+		return 0
+	}
+	return float64(len(e.Members)) / float64(e.Capacity)
+}
+
+// Instance is a complete OSP instance: per-set weights and declared sizes,
+// plus the element arrival sequence. An online algorithm is shown Weights
+// and Sizes at start (the paper: "Initially, for each set we know only its
+// weight and size") and then Elements one at a time.
+type Instance struct {
+	// Weights[i] is w(S_i) >= 0.
+	Weights []float64
+	// Sizes[i] is |S_i|, the total number of elements of S_i.
+	Sizes []int
+	// Elements is the arrival order.
+	Elements []Element
+}
+
+// NumSets returns m, the number of sets.
+func (in *Instance) NumSets() int { return len(in.Weights) }
+
+// NumElements returns n, the number of elements.
+func (in *Instance) NumElements() int { return len(in.Elements) }
+
+// TotalWeight returns w(C), the sum of all set weights.
+func (in *Instance) TotalWeight() float64 {
+	var t float64
+	for _, w := range in.Weights {
+		t += w
+	}
+	return t
+}
+
+// Weight returns the total weight of the given collection of sets.
+func (in *Instance) Weight(sets []SetID) float64 {
+	var t float64
+	for _, s := range sets {
+		t += in.Weights[s]
+	}
+	return t
+}
+
+// IsUnitCapacity reports whether every element has capacity exactly 1.
+func (in *Instance) IsUnitCapacity() bool {
+	for _, e := range in.Elements {
+		if e.Capacity != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnweighted reports whether every set has weight exactly 1.
+func (in *Instance) IsUnweighted() bool {
+	for _, w := range in.Weights {
+		if w != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MemberMatrix returns, for each set, the indices of the elements it
+// contains, in arrival order. It is the transpose of the element→set
+// incidence and costs O(Σ σ(u)) time and space.
+func (in *Instance) MemberMatrix() [][]int {
+	rows := make([][]int, in.NumSets())
+	for i, sz := range in.Sizes {
+		rows[i] = make([]int, 0, sz)
+	}
+	for j, e := range in.Elements {
+		for _, s := range e.Members {
+			rows[s] = append(rows[s], j)
+		}
+	}
+	return rows
+}
+
+// Errors returned by Validate.
+var (
+	ErrSizeMismatch   = errors.New("setsystem: declared set size differs from element membership count")
+	ErrBadCapacity    = errors.New("setsystem: element capacity must be >= 1")
+	ErrBadMemberOrder = errors.New("setsystem: element members must be strictly increasing SetIDs")
+	ErrMemberRange    = errors.New("setsystem: element member SetID out of range")
+	ErrNegativeWeight = errors.New("setsystem: set weight must be non-negative")
+	ErrLengthsDiffer  = errors.New("setsystem: Weights and Sizes must have equal length")
+	ErrNegativeSize   = errors.New("setsystem: declared set size must be non-negative")
+	ErrEmptyElement   = errors.New("setsystem: element must belong to at least one set")
+	ErrEmptySet       = errors.New("setsystem: set must contain at least one element")
+)
+
+// Validate checks structural invariants: weights non-negative, capacities
+// positive, member lists sorted, in range and non-empty, and every declared
+// size equal to the number of elements actually listing the set.
+func (in *Instance) Validate() error {
+	if len(in.Weights) != len(in.Sizes) {
+		return fmt.Errorf("%w: %d weights, %d sizes", ErrLengthsDiffer, len(in.Weights), len(in.Sizes))
+	}
+	for i, w := range in.Weights {
+		if w < 0 {
+			return fmt.Errorf("%w: set %d has weight %v", ErrNegativeWeight, i, w)
+		}
+	}
+	for i, sz := range in.Sizes {
+		if sz < 0 {
+			return fmt.Errorf("%w: set %d has size %d", ErrNegativeSize, i, sz)
+		}
+		if sz == 0 {
+			return fmt.Errorf("%w: set %d", ErrEmptySet, i)
+		}
+	}
+	counts := make([]int, len(in.Sizes))
+	m := SetID(len(in.Weights))
+	for j, e := range in.Elements {
+		if e.Capacity < 1 {
+			return fmt.Errorf("%w: element %d has capacity %d", ErrBadCapacity, j, e.Capacity)
+		}
+		if len(e.Members) == 0 {
+			return fmt.Errorf("%w: element %d", ErrEmptyElement, j)
+		}
+		prev := SetID(-1)
+		for _, s := range e.Members {
+			if s < 0 || s >= m {
+				return fmt.Errorf("%w: element %d lists set %d (m=%d)", ErrMemberRange, j, s, m)
+			}
+			if s <= prev {
+				return fmt.Errorf("%w: element %d", ErrBadMemberOrder, j)
+			}
+			prev = s
+			counts[s]++
+		}
+	}
+	for i, c := range counts {
+		if c != in.Sizes[i] {
+			return fmt.Errorf("%w: set %d declared %d, has %d", ErrSizeMismatch, i, in.Sizes[i], c)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	cp := &Instance{
+		Weights:  append([]float64(nil), in.Weights...),
+		Sizes:    append([]int(nil), in.Sizes...),
+		Elements: make([]Element, len(in.Elements)),
+	}
+	for j, e := range in.Elements {
+		cp.Elements[j] = Element{
+			Members:  append([]SetID(nil), e.Members...),
+			Capacity: e.Capacity,
+		}
+	}
+	return cp
+}
+
+// SortMembers sorts every element's member list in place into the canonical
+// strictly-increasing order. Use after constructing elements whose member
+// order is not already canonical.
+func (in *Instance) SortMembers() {
+	for j := range in.Elements {
+		ms := in.Elements[j].Members
+		sort.Slice(ms, func(a, b int) bool { return ms[a] < ms[b] })
+	}
+}
+
+// String returns a short human-readable summary such as
+// "osp instance: m=12 sets, n=30 elements, kmax=4, σmax=3".
+func (in *Instance) String() string {
+	st := Compute(in)
+	return fmt.Sprintf("osp instance: m=%d sets, n=%d elements, kmax=%d, σmax=%d",
+		in.NumSets(), in.NumElements(), st.KMax, st.SigmaMax)
+}

@@ -1,0 +1,237 @@
+package setsystem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyInstance is the worked example used across the tests:
+// three sets A={u0,u1}, B={u0,u2}, C={u1,u2} with weights 1, 2, 3.
+func tinyInstance(t *testing.T) *Instance {
+	t.Helper()
+	var b Builder
+	a := b.AddSet(1)
+	bb := b.AddSet(2)
+	c := b.AddSet(3)
+	b.AddElement(a, bb)
+	b.AddElement(a, c)
+	b.AddElement(bb, c)
+	in, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return in
+}
+
+func TestBuilderDerivesSizes(t *testing.T) {
+	in := tinyInstance(t)
+	if got, want := in.NumSets(), 3; got != want {
+		t.Fatalf("NumSets = %d, want %d", got, want)
+	}
+	if got, want := in.NumElements(), 3; got != want {
+		t.Fatalf("NumElements = %d, want %d", got, want)
+	}
+	for i, sz := range in.Sizes {
+		if sz != 2 {
+			t.Errorf("Sizes[%d] = %d, want 2", i, sz)
+		}
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	in := tinyInstance(t)
+	if got, want := in.TotalWeight(), 6.0; got != want {
+		t.Errorf("TotalWeight = %v, want %v", got, want)
+	}
+	if got, want := in.Weight([]SetID{0, 2}), 4.0; got != want {
+		t.Errorf("Weight({0,2}) = %v, want %v", got, want)
+	}
+}
+
+func TestIsUnitCapacityAndUnweighted(t *testing.T) {
+	in := tinyInstance(t)
+	if !in.IsUnitCapacity() {
+		t.Error("IsUnitCapacity = false, want true")
+	}
+	if in.IsUnweighted() {
+		t.Error("IsUnweighted = true, want false (weights 1,2,3)")
+	}
+
+	var b Builder
+	s := b.AddSet(1)
+	b.AddElementCap(2, s)
+	in2 := b.MustBuild()
+	if in2.IsUnitCapacity() {
+		t.Error("IsUnitCapacity = true for capacity-2 element")
+	}
+	if !in2.IsUnweighted() {
+		t.Error("IsUnweighted = false, want true")
+	}
+}
+
+func TestMemberMatrix(t *testing.T) {
+	in := tinyInstance(t)
+	mm := in.MemberMatrix()
+	want := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	for i := range want {
+		if len(mm[i]) != len(want[i]) {
+			t.Fatalf("set %d rows = %v, want %v", i, mm[i], want[i])
+		}
+		for j := range want[i] {
+			if mm[i][j] != want[i][j] {
+				t.Errorf("set %d rows = %v, want %v", i, mm[i], want[i])
+			}
+		}
+	}
+}
+
+func TestValidateCatchesSizeMismatch(t *testing.T) {
+	in := tinyInstance(t)
+	in.Sizes[0] = 3
+	if err := in.Validate(); !errors.Is(err, ErrSizeMismatch) {
+		t.Errorf("Validate = %v, want ErrSizeMismatch", err)
+	}
+}
+
+func TestValidateCatchesBadCapacity(t *testing.T) {
+	in := tinyInstance(t)
+	in.Elements[1].Capacity = 0
+	if err := in.Validate(); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("Validate = %v, want ErrBadCapacity", err)
+	}
+}
+
+func TestValidateCatchesUnsortedMembers(t *testing.T) {
+	in := tinyInstance(t)
+	in.Elements[0].Members = []SetID{1, 0}
+	if err := in.Validate(); !errors.Is(err, ErrBadMemberOrder) {
+		t.Errorf("Validate = %v, want ErrBadMemberOrder", err)
+	}
+}
+
+func TestValidateCatchesDuplicateMembers(t *testing.T) {
+	in := tinyInstance(t)
+	in.Elements[0].Members = []SetID{0, 0}
+	if err := in.Validate(); !errors.Is(err, ErrBadMemberOrder) {
+		t.Errorf("Validate = %v, want ErrBadMemberOrder (duplicates)", err)
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	in := tinyInstance(t)
+	in.Elements[0].Members = []SetID{0, 99}
+	if err := in.Validate(); !errors.Is(err, ErrMemberRange) {
+		t.Errorf("Validate = %v, want ErrMemberRange", err)
+	}
+}
+
+func TestValidateCatchesNegativeWeight(t *testing.T) {
+	in := tinyInstance(t)
+	in.Weights[2] = -1
+	if err := in.Validate(); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("Validate = %v, want ErrNegativeWeight", err)
+	}
+}
+
+func TestValidateCatchesEmptyElement(t *testing.T) {
+	in := tinyInstance(t)
+	in.Elements[0].Members = nil
+	if err := in.Validate(); !errors.Is(err, ErrEmptyElement) {
+		t.Errorf("Validate = %v, want ErrEmptyElement", err)
+	}
+}
+
+func TestValidateCatchesLengthMismatch(t *testing.T) {
+	in := tinyInstance(t)
+	in.Sizes = in.Sizes[:2]
+	if err := in.Validate(); !errors.Is(err, ErrLengthsDiffer) {
+		t.Errorf("Validate = %v, want ErrLengthsDiffer", err)
+	}
+}
+
+func TestBuilderRejectsNegativeWeight(t *testing.T) {
+	var b Builder
+	b.AddSet(-5)
+	if _, err := b.Build(); !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("Build = %v, want ErrNegativeWeight", err)
+	}
+}
+
+func TestBuilderRejectsBadCapacity(t *testing.T) {
+	var b Builder
+	s := b.AddSet(1)
+	b.AddElementCap(0, s)
+	if _, err := b.Build(); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("Build = %v, want ErrBadCapacity", err)
+	}
+}
+
+func TestBuilderRejectsEmptyElement(t *testing.T) {
+	var b Builder
+	b.AddSet(1)
+	b.AddElement()
+	if _, err := b.Build(); !errors.Is(err, ErrEmptyElement) {
+		t.Errorf("Build = %v, want ErrEmptyElement", err)
+	}
+}
+
+func TestBuilderSortsAndDedupesMembers(t *testing.T) {
+	var b Builder
+	ids := b.AddSets(3, 1)
+	b.AddElement(ids[2], ids[0], ids[2], ids[1])
+	in := b.MustBuild()
+	ms := in.Elements[0].Members
+	if len(ms) != 3 || ms[0] != 0 || ms[1] != 1 || ms[2] != 2 {
+		t.Errorf("Members = %v, want [0 1 2]", ms)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := tinyInstance(t)
+	cp := in.Clone()
+	cp.Weights[0] = 99
+	cp.Elements[0].Members[0] = 2
+	if in.Weights[0] == 99 {
+		t.Error("Clone shares Weights")
+	}
+	if in.Elements[0].Members[0] == 2 {
+		t.Error("Clone shares Members")
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("original damaged by mutating clone: %v", err)
+	}
+}
+
+func TestSortMembers(t *testing.T) {
+	in := tinyInstance(t)
+	in.Elements[0].Members = []SetID{1, 0}
+	in.SortMembers()
+	if err := in.Validate(); err != nil {
+		t.Errorf("Validate after SortMembers: %v", err)
+	}
+}
+
+func TestElementLoadAndAdjustedLoad(t *testing.T) {
+	e := Element{Members: []SetID{0, 1, 2, 3}, Capacity: 2}
+	if got, want := e.Load(), 4; got != want {
+		t.Errorf("Load = %d, want %d", got, want)
+	}
+	if got, want := e.AdjustedLoad(), 2.0; got != want {
+		t.Errorf("AdjustedLoad = %v, want %v", got, want)
+	}
+	bad := Element{Members: []SetID{0}, Capacity: 0}
+	if got := bad.AdjustedLoad(); got != 0 {
+		t.Errorf("AdjustedLoad with zero capacity = %v, want 0", got)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	in := tinyInstance(t)
+	s := in.String()
+	for _, frag := range []string{"m=3", "n=3", "kmax=2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package setsystem
+
+import "math"
+
+// Stats aggregates the instance parameters the paper's bounds are expressed
+// in. Following the paper's notational convention, for a multiset X of
+// numbers the "Mean" fields are averages and "Max" fields maxima; products
+// such as mean(σ·σ$) average the per-element product.
+type Stats struct {
+	N int // number of elements
+	M int // number of sets
+
+	KMax  int     // kmax: maximal set size
+	KMean float64 // mean set size, Σ|S|/m
+
+	SigmaMax  int     // σmax: maximal element load
+	SigmaMean float64 // mean element load, Σσ(u)/n
+	Sigma2    float64 // mean of σ(u)² (the paper's "σ² bar")
+
+	SigmaWMax  float64 // max weighted load σ$(u) = w(C(u))
+	SigmaWMean float64 // mean weighted load
+
+	SigmaSigmaW float64 // mean of σ(u)·σ$(u) (the paper's "σ·σ$ bar")
+
+	NuMax    float64 // max adjusted load ν(u) = σ(u)/b(u)
+	NuMean   float64 // mean adjusted load
+	NuSigmaW float64 // mean of ν(u)·σ$(u) (Theorem 4's "ν·σ$ bar")
+
+	BMax        int     // maximal element capacity
+	TotalWeight float64 // w(C)
+}
+
+// Compute scans the instance once and returns its Stats. An instance with
+// no elements or no sets yields zero statistics.
+func Compute(in *Instance) Stats {
+	var st Stats
+	st.N = in.NumElements()
+	st.M = in.NumSets()
+
+	for i, sz := range in.Sizes {
+		if sz > st.KMax {
+			st.KMax = sz
+		}
+		st.KMean += float64(sz)
+		st.TotalWeight += in.Weights[i]
+	}
+	if st.M > 0 {
+		st.KMean /= float64(st.M)
+	}
+
+	for _, e := range in.Elements {
+		sigma := len(e.Members)
+		var sw float64
+		for _, s := range e.Members {
+			sw += in.Weights[s]
+		}
+		nu := e.AdjustedLoad()
+
+		if sigma > st.SigmaMax {
+			st.SigmaMax = sigma
+		}
+		if sw > st.SigmaWMax {
+			st.SigmaWMax = sw
+		}
+		if nu > st.NuMax {
+			st.NuMax = nu
+		}
+		if e.Capacity > st.BMax {
+			st.BMax = e.Capacity
+		}
+		fs := float64(sigma)
+		st.SigmaMean += fs
+		st.Sigma2 += fs * fs
+		st.SigmaWMean += sw
+		st.SigmaSigmaW += fs * sw
+		st.NuMean += nu
+		st.NuSigmaW += nu * sw
+	}
+	if st.N > 0 {
+		fn := float64(st.N)
+		st.SigmaMean /= fn
+		st.Sigma2 /= fn
+		st.SigmaWMean /= fn
+		st.SigmaSigmaW /= fn
+		st.NuMean /= fn
+		st.NuSigmaW /= fn
+	}
+	return st
+}
+
+// UniformSize reports whether every set has the same size and returns that
+// size when it does.
+func UniformSize(in *Instance) (k int, uniform bool) {
+	if len(in.Sizes) == 0 {
+		return 0, true
+	}
+	k = in.Sizes[0]
+	for _, sz := range in.Sizes[1:] {
+		if sz != k {
+			return 0, false
+		}
+	}
+	return k, true
+}
+
+// UniformLoad reports whether every element has the same load and returns
+// that load when it does.
+func UniformLoad(in *Instance) (sigma int, uniform bool) {
+	if len(in.Elements) == 0 {
+		return 0, true
+	}
+	sigma = in.Elements[0].Load()
+	for _, e := range in.Elements[1:] {
+		if e.Load() != sigma {
+			return 0, false
+		}
+	}
+	return sigma, true
+}
+
+// Theorem1Bound returns the paper's Theorem 1 competitive-ratio bound for
+// unit-capacity instances:
+//
+//	kmax · sqrt( mean(σ·σ$) / mean(σ$) ).
+//
+// It is valid (an upper bound on OPT/E[ALG] for randPr) whenever the
+// instance has unit capacities.
+func Theorem1Bound(st Stats) float64 {
+	if st.SigmaWMean <= 0 {
+		return 0
+	}
+	return float64(st.KMax) * math.Sqrt(st.SigmaSigmaW/st.SigmaWMean)
+}
+
+// Corollary6Bound returns kmax·sqrt(σmax), the simplified unit-capacity
+// bound of Corollary 6.
+func Corollary6Bound(st Stats) float64 {
+	return float64(st.KMax) * math.Sqrt(float64(st.SigmaMax))
+}
+
+// Theorem4Bound returns the variable-capacity bound of Theorem 4:
+//
+//	16e · kmax · sqrt( mean(ν·σ$) / mean(σ$) ),
+//
+// where ν(u)=σ(u)/b(u) is the adjusted load.
+func Theorem4Bound(st Stats) float64 {
+	if st.SigmaWMean <= 0 {
+		return 0
+	}
+	return 16 * math.E * float64(st.KMax) * math.Sqrt(st.NuSigmaW/st.SigmaWMean)
+}
+
+// Theorem5Bound returns the uniform-set-size bound of Theorem 5,
+// k·mean(σ²)/mean(σ)², valid for unweighted unit-capacity instances in
+// which every set has size exactly k.
+func Theorem5Bound(st Stats) float64 {
+	if st.SigmaMean <= 0 {
+		return 0
+	}
+	return float64(st.KMax) * st.Sigma2 / (st.SigmaMean * st.SigmaMean)
+}
+
+// Corollary7Bound returns k, the bound of Corollary 7 for unweighted
+// unit-capacity instances with uniform set size and uniform element load.
+func Corollary7Bound(st Stats) float64 {
+	return float64(st.KMax)
+}
+
+// Theorem6Bound returns mean(k)·sqrt(σ), the bound of Theorem 6 for
+// unweighted unit-capacity instances in which every element has the same
+// load σ.
+func Theorem6Bound(st Stats) float64 {
+	return st.KMean * math.Sqrt(st.SigmaMean)
+}

@@ -1,0 +1,212 @@
+package setsystem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestComputeOnTinyInstance(t *testing.T) {
+	in := tinyInstance(t)
+	st := Compute(in)
+
+	if st.N != 3 || st.M != 3 {
+		t.Fatalf("N,M = %d,%d want 3,3", st.N, st.M)
+	}
+	if st.KMax != 2 || !approxEq(st.KMean, 2) {
+		t.Errorf("KMax,KMean = %d,%v want 2,2", st.KMax, st.KMean)
+	}
+	if st.SigmaMax != 2 || !approxEq(st.SigmaMean, 2) {
+		t.Errorf("SigmaMax,SigmaMean = %d,%v want 2,2", st.SigmaMax, st.SigmaMean)
+	}
+	if !approxEq(st.Sigma2, 4) {
+		t.Errorf("Sigma2 = %v, want 4", st.Sigma2)
+	}
+	// weighted loads: u0∈{A,B}: 3; u1∈{A,C}: 4; u2∈{B,C}: 5
+	if !approxEq(st.SigmaWMean, 4) {
+		t.Errorf("SigmaWMean = %v, want 4", st.SigmaWMean)
+	}
+	if !approxEq(st.SigmaWMax, 5) {
+		t.Errorf("SigmaWMax = %v, want 5", st.SigmaWMax)
+	}
+	if !approxEq(st.SigmaSigmaW, 8) { // mean of 2·3, 2·4, 2·5 = mean(6,8,10)
+		t.Errorf("SigmaSigmaW = %v, want 8", st.SigmaSigmaW)
+	}
+	if !approxEq(st.NuMean, 2) { // unit capacity: ν = σ
+		t.Errorf("NuMean = %v, want 2", st.NuMean)
+	}
+	if !approxEq(st.TotalWeight, 6) {
+		t.Errorf("TotalWeight = %v, want 6", st.TotalWeight)
+	}
+	if st.BMax != 1 {
+		t.Errorf("BMax = %d, want 1", st.BMax)
+	}
+}
+
+func TestComputeEmptyInstance(t *testing.T) {
+	st := Compute(&Instance{})
+	if st.N != 0 || st.M != 0 || st.KMax != 0 || st.SigmaMean != 0 {
+		t.Errorf("empty instance stats not zero: %+v", st)
+	}
+}
+
+func TestUniformSizeAndLoad(t *testing.T) {
+	in := tinyInstance(t)
+	if k, ok := UniformSize(in); !ok || k != 2 {
+		t.Errorf("UniformSize = %d,%v want 2,true", k, ok)
+	}
+	if s, ok := UniformLoad(in); !ok || s != 2 {
+		t.Errorf("UniformLoad = %d,%v want 2,true", s, ok)
+	}
+
+	var b Builder
+	ids := b.AddSets(2, 1)
+	b.AddElement(ids[0], ids[1])
+	b.AddElement(ids[0])
+	b.AddElement(ids[1])
+	b.AddElement(ids[1])
+	in2 := b.MustBuild() // sizes 2 and 3; loads 2,1,1,1
+	if _, ok := UniformSize(in2); ok {
+		t.Error("UniformSize = true for mixed sizes")
+	}
+	if _, ok := UniformLoad(in2); ok {
+		t.Error("UniformLoad = true for mixed loads")
+	}
+}
+
+func TestBoundsOnTinyInstance(t *testing.T) {
+	in := tinyInstance(t)
+	st := Compute(in)
+	// Theorem 1: kmax·sqrt(mean(σσ$)/mean(σ$)) = 2·sqrt(8/4) = 2√2.
+	if got, want := Theorem1Bound(st), 2*math.Sqrt2; !approxEq(got, want) {
+		t.Errorf("Theorem1Bound = %v, want %v", got, want)
+	}
+	// Corollary 6: kmax·sqrt(σmax) = 2√2.
+	if got, want := Corollary6Bound(st), 2*math.Sqrt2; !approxEq(got, want) {
+		t.Errorf("Corollary6Bound = %v, want %v", got, want)
+	}
+	// Theorem 4 with unit capacities: 16e·kmax·sqrt(mean(νσ$)/mean(σ$)).
+	if got, want := Theorem4Bound(st), 16*math.E*2*math.Sqrt2; !approxEq(got, want) {
+		t.Errorf("Theorem4Bound = %v, want %v", got, want)
+	}
+	// Theorem 5: k·mean(σ²)/mean(σ)² = 2·4/4 = 2.
+	if got, want := Theorem5Bound(st), 2.0; !approxEq(got, want) {
+		t.Errorf("Theorem5Bound = %v, want %v", got, want)
+	}
+	if got, want := Corollary7Bound(st), 2.0; !approxEq(got, want) {
+		t.Errorf("Corollary7Bound = %v, want %v", got, want)
+	}
+	// Theorem 6: mean(k)·sqrt(mean σ) = 2·√2.
+	if got, want := Theorem6Bound(st), 2*math.Sqrt2; !approxEq(got, want) {
+		t.Errorf("Theorem6Bound = %v, want %v", got, want)
+	}
+}
+
+func TestBoundsZeroGuards(t *testing.T) {
+	var st Stats
+	if Theorem1Bound(st) != 0 || Theorem4Bound(st) != 0 || Theorem5Bound(st) != 0 {
+		t.Error("bounds on empty stats should be 0")
+	}
+}
+
+// randomInstance builds a valid random instance for property tests.
+func randomInstance(rng *rand.Rand) *Instance {
+	var b Builder
+	m := 2 + rng.Intn(10)
+	ids := make([]SetID, m)
+	for i := range ids {
+		ids[i] = b.AddSet(0.5 + rng.Float64()*4)
+	}
+	n := 3 + rng.Intn(20)
+	touched := make(map[SetID]bool, m)
+	for j := 0; j < n; j++ {
+		sigma := 1 + rng.Intn(m)
+		perm := rng.Perm(m)
+		members := make([]SetID, 0, sigma)
+		for _, p := range perm[:sigma] {
+			members = append(members, ids[p])
+			touched[ids[p]] = true
+		}
+		b.AddElementCap(1+rng.Intn(3), members...)
+	}
+	// Ensure every set has at least one element.
+	for _, id := range ids {
+		if !touched[id] {
+			b.AddElement(id)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: the handshake identity Σ|S| = Σσ(u), i.e. m·mean(k) = n·mean(σ),
+// and the weighted version n·mean(σ$) = Σ_S |S|·w(S) (the paper's Eq. (4)
+// with equality before bounding).
+func TestHandshakeIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng)
+		st := Compute(in)
+
+		lhs := float64(st.M) * st.KMean
+		rhs := float64(st.N) * st.SigmaMean
+		if !approxEq(lhs, rhs) {
+			t.Logf("m·k̄=%v n·σ̄=%v", lhs, rhs)
+			return false
+		}
+		var sw float64
+		for i, sz := range in.Sizes {
+			sw += float64(sz) * in.Weights[i]
+		}
+		if !approxEq(float64(st.N)*st.SigmaWMean, sw) {
+			t.Logf("n·σ$̄=%v Σ|S|w(S)=%v", float64(st.N)*st.SigmaWMean, sw)
+			return false
+		}
+		// Eq. (4): n·mean(σ$) ≤ kmax·w(C).
+		return float64(st.N)*st.SigmaWMean <= float64(st.KMax)*st.TotalWeight+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Theorem1Bound ≤ Corollary6Bound (the refined bound is never
+// worse), and both are ≥ 1 on nonempty instances with kmax ≥ 1, σmax ≥ 1.
+func TestBoundOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng)
+		st := Compute(in)
+		t1, c6 := Theorem1Bound(st), Corollary6Bound(st)
+		if t1 > c6+1e-9 {
+			t.Logf("Theorem1Bound %v > Corollary6Bound %v", t1, c6)
+			return false
+		}
+		return t1 >= 1-1e-9 && c6 >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compute is invariant under cloning, and Validate passes on all
+// generated instances.
+func TestComputeCloneInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng)
+		if err := in.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		a, b := Compute(in), Compute(in.Clone())
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package stats
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// RenderCSV writes the table as RFC-4180 CSV (header row first), for
+// machine-readable experiment output alongside the human-readable text
+// rendering.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,27 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.AddRow(1, "x,y") // comma in a cell must be quoted
+	tb.AddRow(2.5, "z")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Errorf("row 1 = %q, want quoted comma cell", lines[1])
+	}
+}

@@ -1,0 +1,137 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming moments (Welford), normal confidence
+// intervals, ratio summaries and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance with Welford's
+// algorithm. The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the minimum observation (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the maximum observation (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 1 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Summary is a snapshot of an Accumulator.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	StdErr float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize returns the accumulator's snapshot.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{
+		N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), StdErr: a.StdErr(),
+		CI95: a.CI95(), Min: a.min, Max: a.max,
+	}
+}
+
+// String formats the summary as "mean ± ci95 (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the data using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RatioOfMeans returns num.Mean()/den.Mean(), the standard estimator for a
+// competitive ratio OPT/E[ALG] across repeated trials; it returns +Inf when
+// the denominator mean is 0 and the numerator positive, and NaN when both
+// are 0.
+func RatioOfMeans(num, den *Accumulator) float64 {
+	d := den.Mean()
+	n := num.Mean()
+	if d == 0 {
+		if n == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
+	}
+	return n / d
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Error("zero accumulator should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if got, want := a.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Population variance of this classic data set is 4; sample variance
+	// = 32/7.
+	if got, want := a.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min,Max = %v,%v want 2,9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorMatchesDirectFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			a.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-v) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdErrAndCI(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i % 2)) // variance 0.2513...
+	}
+	se := a.StdDev() / 10
+	if math.Abs(a.StdErr()-se) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", a.StdErr(), se)
+	}
+	if math.Abs(a.CI95()-1.96*se) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", a.CI95(), 1.96*se)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(2)
+	s := a.Summarize()
+	if s.N != 2 || s.Mean != 1.5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=2") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(data, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// input unchanged
+	if data[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	// interpolation
+	if got := Quantile([]float64{0, 10}, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Quantile interpolation = %v, want 3", got)
+	}
+}
+
+func TestRatioOfMeans(t *testing.T) {
+	var num, den Accumulator
+	num.Add(10)
+	num.Add(20)
+	den.Add(2)
+	den.Add(3)
+	if got, want := RatioOfMeans(&num, &den), 6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RatioOfMeans = %v, want %v", got, want)
+	}
+	var zero Accumulator
+	zero.Add(0)
+	if !math.IsInf(RatioOfMeans(&num, &zero), 1) {
+		t.Error("ratio with zero denominator should be +Inf")
+	}
+	var zn Accumulator
+	zn.Add(0)
+	if !math.IsNaN(RatioOfMeans(&zn, &zero)) {
+		t.Error("0/0 ratio should be NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "col1", "verywidecolumn", "x")
+	tb.AddRow(1, "ab", 3.5)
+	tb.AddRow("longervalue", 2)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "verywidecolumn") {
+		t.Errorf("render missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as long as the header line.
+	if len(lines[3]) < len("longervalue") {
+		t.Errorf("row line too short: %q", lines[3])
+	}
+}

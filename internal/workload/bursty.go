@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/setsystem"
+)
+
+// BurstyConfig describes a Markov-modulated (on/off) video workload: each
+// stream alternates between ON periods, during which it emits frames
+// back-to-back, and OFF periods of silence. Superposed ON periods create
+// the deep bursts that motivate the paper — σmax far above the mean load —
+// much more realistically than independent jitter.
+type BurstyConfig struct {
+	// Streams is the number of concurrent on/off sources.
+	Streams int
+	// Frames is the total number of frames each stream emits.
+	Frames int
+	// OnProb is the per-slot probability that an OFF stream turns ON;
+	// OffProb the probability an ON stream turns OFF. Defaults 0.3 / 0.3.
+	OnProb, OffProb float64
+	// GoP is the frame pattern; nil means DefaultGoP.
+	GoP []FrameClass
+	// LinkCapacity is b(u); 0 means 1.
+	LinkCapacity int
+}
+
+// Bursty synthesizes the Markov-modulated trace and reduces it to OSP via
+// the same slot-to-element mapping as Video. The returned VideoInstance
+// carries the per-frame class metadata, so the router simulators accept it
+// unchanged.
+func Bursty(cfg BurstyConfig, rng *rand.Rand) (*VideoInstance, error) {
+	if cfg.Streams < 1 || cfg.Frames < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	onP, offP := cfg.OnProb, cfg.OffProb
+	if onP == 0 {
+		onP = 0.3
+	}
+	if offP == 0 {
+		offP = 0.3
+	}
+	if onP < 0 || onP > 1 || offP < 0 || offP > 1 {
+		return nil, fmt.Errorf("%w: probabilities out of range", ErrBadConfig)
+	}
+	gop := cfg.GoP
+	if gop == nil {
+		gop = DefaultGoP()
+	}
+	if len(gop) == 0 {
+		return nil, fmt.Errorf("%w: empty GoP", ErrBadConfig)
+	}
+	for _, fc := range gop {
+		if fc.Packets < 1 || fc.Weight < 0 {
+			return nil, fmt.Errorf("%w: frame class %+v", ErrBadConfig, fc)
+		}
+	}
+	linkCap := cfg.LinkCapacity
+	if linkCap == 0 {
+		linkCap = 1
+	}
+	if linkCap < 1 {
+		return nil, fmt.Errorf("%w: link capacity %d", ErrBadConfig, cfg.LinkCapacity)
+	}
+
+	var b setsystem.Builder
+	vi := &VideoInstance{}
+	type placement struct {
+		set   setsystem.SetID
+		start int
+		count int
+	}
+	var placements []placement
+	maxSlot := 0
+
+	for s := 0; s < cfg.Streams; s++ {
+		on := rng.Float64() < 0.5
+		slot := 0
+		emitted := 0
+		frameIdx := 0
+		for emitted < cfg.Frames {
+			if on {
+				fc := gop[frameIdx%len(gop)]
+				frameIdx++
+				id := b.AddSet(fc.Weight)
+				vi.Class = append(vi.Class, fc.Name)
+				placements = append(placements, placement{set: id, start: slot, count: fc.Packets})
+				if end := slot + fc.Packets; end > maxSlot {
+					maxSlot = end
+				}
+				vi.TotalPackets += fc.Packets
+				slot += fc.Packets // back-to-back within an ON period
+				emitted++
+				if rng.Float64() < offP {
+					on = false
+				}
+			} else {
+				slot++
+				if rng.Float64() < onP {
+					on = true
+				}
+			}
+		}
+	}
+
+	membersOf := make([][]setsystem.SetID, maxSlot)
+	for _, p := range placements {
+		for r := 0; r < p.count; r++ {
+			membersOf[p.start+r] = append(membersOf[p.start+r], p.set)
+		}
+	}
+	for _, ms := range membersOf {
+		if len(ms) == 0 {
+			continue
+		}
+		vi.Slots++
+		b.AddElementCap(linkCap, ms...)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	vi.Inst = inst
+	return vi, nil
+}

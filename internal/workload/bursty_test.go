@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/setsystem"
+)
+
+func TestBurstyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vi, err := Bursty(BurstyConfig{Streams: 5, Frames: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vi.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vi.Inst.NumSets(), 50; got != want {
+		t.Errorf("m = %d, want %d", got, want)
+	}
+	if len(vi.Class) != 50 {
+		t.Errorf("Class len = %d", len(vi.Class))
+	}
+	// Frame sizes match their class.
+	for i, c := range vi.Class {
+		want := map[string]int{"I": 8, "P": 4, "B": 2}[c]
+		if vi.Inst.Sizes[i] != want {
+			t.Fatalf("frame %d class %s size %d, want %d", i, c, vi.Inst.Sizes[i], want)
+		}
+	}
+}
+
+func TestBurstyRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bad := []BurstyConfig{
+		{Streams: 0, Frames: 1},
+		{Streams: 1, Frames: 0},
+		{Streams: 1, Frames: 1, OnProb: -0.1},
+		{Streams: 1, Frames: 1, OffProb: 1.5},
+		{Streams: 1, Frames: 1, GoP: []FrameClass{}},
+		{Streams: 1, Frames: 1, GoP: []FrameClass{{Packets: 0, Weight: 1}}},
+		{Streams: 1, Frames: 1, LinkCapacity: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Bursty(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Bursty(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+// Bursty traffic should produce materially deeper bursts (higher σmax
+// relative to mean load) than the jittered Video generator at equal
+// offered load.
+func TestBurstyIsBurstierThanVideo(t *testing.T) {
+	var burstyPeak, videoPeak float64
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bv, err := Bursty(BurstyConfig{Streams: 8, Frames: 12, OnProb: 0.15, OffProb: 0.4}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vv, err := Video(VideoConfig{Streams: 8, FramesPerStream: 12, Jitter: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := setsystem.Compute(bv.Inst)
+		vs := setsystem.Compute(vv.Inst)
+		burstyPeak += float64(bs.SigmaMax) / bs.SigmaMean
+		videoPeak += float64(vs.SigmaMax) / vs.SigmaMean
+	}
+	if burstyPeak <= videoPeak {
+		t.Errorf("bursty peak-to-mean %v <= jittered %v", burstyPeak/trials, videoPeak/trials)
+	}
+}
+
+func TestBurstyLinkCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vi, err := Bursty(BurstyConfig{Streams: 2, Frames: 3, LinkCapacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range vi.Inst.Elements {
+		if e.Capacity != 2 {
+			t.Fatalf("capacity %d, want 2", e.Capacity)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/setsystem"
+)
+
+// The multihop generator reproduces the paper's second motivating scenario
+// (Section 1): packets traversing multiple hops, where a packet is
+// delivered only if no switch on its route drops it. The reduction maps
+// each (time, hop) pair to an OSP element and each packet to a set whose
+// elements are the time-location pairs it is due to visit; at each (t, h)
+// only b packets can be served.
+
+// MultihopConfig describes a line network of switches with store-and-
+// forward packets.
+type MultihopConfig struct {
+	// Hops is the number of switches on the line.
+	Hops int
+	// Packets is the number of multi-hop packets (OSP sets).
+	Packets int
+	// MaxRoute caps each packet's route length (number of consecutive
+	// hops it traverses); routes are 2..MaxRoute hops. 0 means Hops.
+	MaxRoute int
+	// Horizon is the number of injection slots packets start in.
+	Horizon int
+	// Capacity is the per-(time,hop) service capacity; 0 means 1.
+	Capacity int
+	// WeightFn returns the weight of packet i; nil means unweighted.
+	WeightFn func(i int) float64
+}
+
+// MultihopInstance is the OSP reduction of a multihop trace plus the
+// underlying routes for reporting and for the distributed simulator.
+type MultihopInstance struct {
+	Inst *setsystem.Instance
+	// Routes[i] lists the (time, hop) pairs packet i visits, in time
+	// order.
+	Routes [][][2]int
+	// Hops is the network length.
+	Hops int
+	// ElementAt[j] is the (time, hop) pair of element j in arrival order.
+	ElementAt [][2]int
+}
+
+// Multihop generates packets with random consecutive-hop routes and
+// injection times, and reduces the trace to OSP. Each packet advances one
+// hop per slot (store-and-forward, no buffering), so a packet injected at
+// time t0 entering hop h0 occupies (t0, h0), (t0+1, h0+1), …
+// Elements arrive in lexicographic (time, hop) order — the order in which
+// service decisions happen across the network.
+func Multihop(cfg MultihopConfig, rng *rand.Rand) (*MultihopInstance, error) {
+	if cfg.Hops < 2 || cfg.Packets < 1 || cfg.Horizon < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	maxRoute := cfg.MaxRoute
+	if maxRoute == 0 || maxRoute > cfg.Hops {
+		maxRoute = cfg.Hops
+	}
+	if maxRoute < 2 {
+		return nil, fmt.Errorf("%w: MaxRoute %d < 2", ErrBadConfig, maxRoute)
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = 1
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: capacity %d", ErrBadConfig, cfg.Capacity)
+	}
+
+	var b setsystem.Builder
+	mi := &MultihopInstance{Hops: cfg.Hops, Routes: make([][][2]int, cfg.Packets)}
+	type cell struct{ time, hop int }
+	occupants := make(map[cell][]setsystem.SetID)
+	for i := 0; i < cfg.Packets; i++ {
+		w := 1.0
+		if cfg.WeightFn != nil {
+			w = cfg.WeightFn(i)
+		}
+		id := b.AddSet(w)
+		routeLen := 2 + rng.Intn(maxRoute-1)
+		h0 := rng.Intn(cfg.Hops - routeLen + 1)
+		t0 := rng.Intn(cfg.Horizon)
+		route := make([][2]int, 0, routeLen)
+		for d := 0; d < routeLen; d++ {
+			t, h := t0+d, h0+d
+			route = append(route, [2]int{t, h})
+			occupants[cell{t, h}] = append(occupants[cell{t, h}], id)
+		}
+		mi.Routes[i] = route
+	}
+
+	cells := make([]cell, 0, len(occupants))
+	for c := range occupants {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(a, z int) bool {
+		if cells[a].time != cells[z].time {
+			return cells[a].time < cells[z].time
+		}
+		return cells[a].hop < cells[z].hop
+	})
+	for _, c := range cells {
+		b.AddElementCap(capacity, occupants[c]...)
+		mi.ElementAt = append(mi.ElementAt, [2]int{c.time, c.hop})
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	mi.Inst = inst
+	return mi, nil
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/setsystem"
+)
+
+// PlantedConfig describes an instance with a known planted packing, used
+// when exact OPT is too expensive: the planted sets are pairwise disjoint
+// by construction, so their total weight is a certified lower bound on OPT
+// (and with enough noise, a close proxy).
+type PlantedConfig struct {
+	// Planted is the number of pairwise-disjoint planted sets.
+	Planted int
+	// K is the exact size of every set, planted and noise alike.
+	K int
+	// Noise is the number of additional overlapping sets.
+	Noise int
+	// NoiseWeight is the weight of noise sets; planted sets have weight 1.
+	// 0 means 1 (unweighted).
+	NoiseWeight float64
+}
+
+// PlantedInstance is the generated instance plus its certificate.
+type PlantedInstance struct {
+	Inst *setsystem.Instance
+	// Planted lists the pairwise disjoint planted sets.
+	Planted []setsystem.SetID
+	// PlantedWeight is the certified OPT lower bound.
+	PlantedWeight float64
+}
+
+// Planted builds a planted instance: Planted·K elements are partitioned
+// into the planted sets; each noise set picks K distinct elements
+// uniformly, so noise sets collide with the planted solution and with each
+// other. Elements arrive in random order, interleaving planted and noise
+// memberships.
+func Planted(cfg PlantedConfig, rng *rand.Rand) (*PlantedInstance, error) {
+	if cfg.Planted < 1 || cfg.K < 1 || cfg.Noise < 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	nw := cfg.NoiseWeight
+	if nw == 0 {
+		nw = 1
+	}
+	if nw < 0 {
+		return nil, fmt.Errorf("%w: negative noise weight", ErrBadConfig)
+	}
+	n := cfg.Planted * cfg.K
+
+	var b setsystem.Builder
+	planted := make([]setsystem.SetID, cfg.Planted)
+	for i := range planted {
+		planted[i] = b.AddSet(1)
+	}
+	noise := make([]setsystem.SetID, cfg.Noise)
+	for i := range noise {
+		noise[i] = b.AddSet(nw)
+	}
+
+	membersOf := make([][]setsystem.SetID, n)
+	for i, p := range planted {
+		for r := 0; r < cfg.K; r++ {
+			e := i*cfg.K + r
+			membersOf[e] = append(membersOf[e], p)
+		}
+	}
+	for _, s := range noise {
+		for _, e := range rng.Perm(n)[:cfg.K] {
+			membersOf[e] = append(membersOf[e], s)
+		}
+	}
+	for _, e := range rng.Perm(n) {
+		b.AddElement(membersOf[e]...)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &PlantedInstance{
+		Inst:          inst,
+		Planted:       planted,
+		PlantedWeight: float64(cfg.Planted),
+	}, nil
+}

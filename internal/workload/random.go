@@ -1,0 +1,242 @@
+// Package workload generates the synthetic OSP instances the experiments
+// run on: random set systems with controlled size/load profiles, planted-
+// optimum instances, Zipf-weighted collections, synthetic video traces for
+// the bottleneck-router scenario and multi-hop task instances. All
+// generators take an explicit *rand.Rand so every experiment is
+// reproducible from a seed.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/setsystem"
+)
+
+// ErrBadConfig is returned when generator parameters are out of range.
+var ErrBadConfig = errors.New("workload: invalid configuration")
+
+// UniformConfig describes a random instance with controlled loads: each of
+// N elements independently picks its parents uniformly.
+type UniformConfig struct {
+	M    int // number of sets
+	N    int // number of elements
+	Load int // load σ(u) of every element (capped at M)
+	// MinLoad, when positive, draws each element's load uniformly from
+	// [MinLoad, Load] instead of pinning it at Load; heterogeneous loads
+	// separate the paper's refined bounds (Theorem 1) from the coarse
+	// σmax bound (Corollary 6).
+	MinLoad int
+	// Capacity is b(u) for every element; 0 means unit capacity.
+	Capacity int
+	// WeightFn returns the weight of set i; nil means unweighted.
+	WeightFn func(i int) float64
+}
+
+// Uniform generates a random instance: every element picks its load
+// (fixed, or uniform in [MinLoad, Load]) and that many distinct parents
+// uniformly at random. Sets left empty by the sampling receive one private
+// load-1 element each (keeping the instance valid); consequently loads are
+// as configured except for that padding.
+func Uniform(cfg UniformConfig, rng *rand.Rand) (*setsystem.Instance, error) {
+	if cfg.M < 1 || cfg.N < 1 || cfg.Load < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.MinLoad < 0 || cfg.MinLoad > cfg.Load {
+		return nil, fmt.Errorf("%w: MinLoad %d out of [0, Load=%d]", ErrBadConfig, cfg.MinLoad, cfg.Load)
+	}
+	load := cfg.Load
+	if load > cfg.M {
+		load = cfg.M
+	}
+	minLoad := cfg.MinLoad
+	if minLoad == 0 {
+		minLoad = load
+	}
+	if minLoad > load {
+		minLoad = load
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = 1
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: capacity %d", ErrBadConfig, cfg.Capacity)
+	}
+	var b setsystem.Builder
+	ids := make([]setsystem.SetID, cfg.M)
+	for i := range ids {
+		w := 1.0
+		if cfg.WeightFn != nil {
+			w = cfg.WeightFn(i)
+		}
+		ids[i] = b.AddSet(w)
+	}
+	touched := make([]bool, cfg.M)
+	members := make([]setsystem.SetID, 0, load)
+	for j := 0; j < cfg.N; j++ {
+		sigma := load
+		if minLoad < load {
+			sigma = minLoad + rng.Intn(load-minLoad+1)
+		}
+		members = members[:0]
+		for _, p := range rng.Perm(cfg.M)[:sigma] {
+			members = append(members, ids[p])
+			touched[p] = true
+		}
+		b.AddElementCap(capacity, members...)
+	}
+	for i, t := range touched {
+		if !t {
+			b.AddElementCap(capacity, ids[i])
+		}
+	}
+	return b.Build()
+}
+
+// FixedSizeConfig describes a random instance in which every set has the
+// same size K while element loads vary.
+type FixedSizeConfig struct {
+	M int // number of sets
+	N int // number of elements (≥ K)
+	K int // exact size of every set
+	// WeightFn returns the weight of set i; nil means unweighted.
+	WeightFn func(i int) float64
+}
+
+// FixedSize generates an instance where each set independently picks K
+// distinct elements uniformly at random; element loads follow the balls-
+// into-bins profile (heterogeneous), which is the regime of Theorem 5.
+// Elements hit by no set are dropped.
+func FixedSize(cfg FixedSizeConfig, rng *rand.Rand) (*setsystem.Instance, error) {
+	if cfg.M < 1 || cfg.K < 1 || cfg.N < cfg.K {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	membersOf := make([][]setsystem.SetID, cfg.N)
+	for i := 0; i < cfg.M; i++ {
+		for _, e := range rng.Perm(cfg.N)[:cfg.K] {
+			membersOf[e] = append(membersOf[e], setsystem.SetID(i))
+		}
+	}
+	var b setsystem.Builder
+	for i := 0; i < cfg.M; i++ {
+		w := 1.0
+		if cfg.WeightFn != nil {
+			w = cfg.WeightFn(i)
+		}
+		b.AddSet(w)
+	}
+	for _, ms := range membersOf {
+		if len(ms) == 0 {
+			continue
+		}
+		b.AddElement(ms...)
+	}
+	return b.Build()
+}
+
+// RegularConfig describes a (K,Sigma)-biregular instance: every set has
+// size exactly K and every element load exactly Sigma — the regime of
+// Corollary 7. Feasibility requires M·K = N·Sigma for some integer N.
+type RegularConfig struct {
+	M     int // number of sets
+	K     int // exact set size
+	Sigma int // exact element load
+}
+
+// Regular generates a biregular instance. It first tries the configuration
+// model (M·K set-slots matched to element-slots by a random permutation,
+// resampled while some element contains a duplicate set); for dense
+// parameters where rejection rarely succeeds it falls back to a circulant
+// design — element e contains sets {e·Sigma, …, e·Sigma+Sigma−1} mod M —
+// randomized by relabeling sets and shuffling element arrival order, which
+// is always duplicate-free since Sigma ≤ M.
+func Regular(cfg RegularConfig, rng *rand.Rand) (*setsystem.Instance, error) {
+	if cfg.M < 1 || cfg.K < 1 || cfg.Sigma < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	total := cfg.M * cfg.K
+	if total%cfg.Sigma != 0 {
+		return nil, fmt.Errorf("%w: M·K = %d not divisible by Sigma = %d", ErrBadConfig, total, cfg.Sigma)
+	}
+	if cfg.Sigma > cfg.M {
+		return nil, fmt.Errorf("%w: Sigma %d > M %d forces duplicate membership", ErrBadConfig, cfg.Sigma, cfg.M)
+	}
+	n := total / cfg.Sigma
+
+	if inst, ok := regularConfigModel(cfg, n, rng); ok {
+		return inst, nil
+	}
+	return regularCirculant(cfg, n, rng)
+}
+
+// regularConfigModel attempts the rejection-sampled configuration model.
+func regularConfigModel(cfg RegularConfig, n int, rng *rand.Rand) (*setsystem.Instance, bool) {
+	total := cfg.M * cfg.K
+	slots := make([]setsystem.SetID, 0, total)
+	for i := 0; i < cfg.M; i++ {
+		for r := 0; r < cfg.K; r++ {
+			slots = append(slots, setsystem.SetID(i))
+		}
+	}
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+		ok := true
+		var b setsystem.Builder
+		b.AddSets(cfg.M, 1)
+		for e := 0; e < n && ok; e++ {
+			chunk := slots[e*cfg.Sigma : (e+1)*cfg.Sigma]
+			seen := make(map[setsystem.SetID]bool, cfg.Sigma)
+			for _, s := range chunk {
+				if seen[s] {
+					ok = false
+					break
+				}
+				seen[s] = true
+			}
+			if ok {
+				b.AddElement(chunk...)
+			}
+		}
+		if !ok {
+			continue
+		}
+		inst, err := b.Build()
+		if err != nil {
+			continue
+		}
+		return inst, true
+	}
+	return nil, false
+}
+
+// regularCirculant builds the always-feasible circulant biregular design
+// with random set relabeling and element order.
+func regularCirculant(cfg RegularConfig, n int, rng *rand.Rand) (*setsystem.Instance, error) {
+	relabel := rng.Perm(cfg.M)
+	var b setsystem.Builder
+	b.AddSets(cfg.M, 1)
+	members := make([]setsystem.SetID, cfg.Sigma)
+	for _, e := range rng.Perm(n) {
+		for i := 0; i < cfg.Sigma; i++ {
+			members[i] = setsystem.SetID(relabel[(e*cfg.Sigma+i)%cfg.M])
+		}
+		b.AddElement(members...)
+	}
+	return b.Build()
+}
+
+// ZipfWeights returns a WeightFn assigning weight proportional to
+// 1/(i+1)^s, scaled so the largest weight is scale. Zipf weights model the
+// skewed frame-importance distributions of layered video codecs.
+func ZipfWeights(s, scale float64) func(i int) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	return func(i int) float64 {
+		return scale / math.Pow(float64(i+1), s)
+	}
+}

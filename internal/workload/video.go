@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/setsystem"
+)
+
+// The video generator reproduces the paper's motivating scenario
+// (Section 1): video sources emit large frames that are fragmented into
+// small packets; many streams share one bottleneck link, and in each time
+// slot the link can serve only b packets — the rest are dropped. A frame
+// is useful only if every packet survives. Elements are time slots, sets
+// are frames.
+
+// FrameClass describes one frame type of a GoP (group of pictures)
+// pattern.
+type FrameClass struct {
+	// Name tags the class (e.g. "I", "P", "B").
+	Name string
+	// Packets is the number of packets frames of this class fragment
+	// into.
+	Packets int
+	// Weight is the frame's value (decoder importance).
+	Weight float64
+}
+
+// DefaultGoP is a classic I-P-B pattern: heavy, valuable I-frames,
+// mid-size P-frames and small B-frames.
+func DefaultGoP() []FrameClass {
+	return []FrameClass{
+		{Name: "I", Packets: 8, Weight: 8},
+		{Name: "P", Packets: 4, Weight: 4},
+		{Name: "B", Packets: 2, Weight: 1},
+		{Name: "B", Packets: 2, Weight: 1},
+	}
+}
+
+// VideoConfig describes a multi-stream video workload.
+type VideoConfig struct {
+	// Streams is the number of concurrent video sources.
+	Streams int
+	// FramesPerStream is how many frames each source emits.
+	FramesPerStream int
+	// GoP is the repeating frame pattern per stream; nil means
+	// DefaultGoP.
+	GoP []FrameClass
+	// LinkCapacity is the number of packets the bottleneck link serves
+	// per slot (b(u)); 0 means 1.
+	LinkCapacity int
+	// Jitter is the maximum random delay (in slots) added to each frame's
+	// start, staggering streams so burst sizes vary.
+	Jitter int
+	// Spacing is the base number of slots between consecutive frame
+	// starts within one stream; 0 means 2.
+	Spacing int
+}
+
+// VideoInstance is the OSP instance for a video workload plus trace
+// metadata for reporting.
+type VideoInstance struct {
+	Inst *setsystem.Instance
+	// Class[i] is the frame class name of set i.
+	Class []string
+	// TotalPackets is the number of (frame, slot) memberships, i.e. the
+	// number of packets offered to the link.
+	TotalPackets int
+	// Slots is the number of time slots with at least one packet.
+	Slots int
+}
+
+// Video synthesizes the trace and reduces it to OSP. Each frame's packets
+// occupy consecutive distinct slots starting at its jittered start time;
+// a slot shared by several frames becomes an element whose parents are
+// those frames.
+func Video(cfg VideoConfig, rng *rand.Rand) (*VideoInstance, error) {
+	if cfg.Streams < 1 || cfg.FramesPerStream < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	gop := cfg.GoP
+	if gop == nil {
+		gop = DefaultGoP()
+	}
+	if len(gop) == 0 {
+		return nil, fmt.Errorf("%w: empty GoP", ErrBadConfig)
+	}
+	for _, fc := range gop {
+		if fc.Packets < 1 || fc.Weight < 0 {
+			return nil, fmt.Errorf("%w: frame class %+v", ErrBadConfig, fc)
+		}
+	}
+	linkCap := cfg.LinkCapacity
+	if linkCap == 0 {
+		linkCap = 1
+	}
+	if linkCap < 1 {
+		return nil, fmt.Errorf("%w: link capacity %d", ErrBadConfig, cfg.LinkCapacity)
+	}
+	spacing := cfg.Spacing
+	if spacing == 0 {
+		spacing = 2
+	}
+	if spacing < 1 || cfg.Jitter < 0 {
+		return nil, fmt.Errorf("%w: spacing %d jitter %d", ErrBadConfig, cfg.Spacing, cfg.Jitter)
+	}
+
+	var b setsystem.Builder
+	vi := &VideoInstance{}
+	type placement struct {
+		set   setsystem.SetID
+		start int
+		count int
+	}
+	var placements []placement
+	maxSlot := 0
+	for s := 0; s < cfg.Streams; s++ {
+		cursor := 0
+		for f := 0; f < cfg.FramesPerStream; f++ {
+			fc := gop[f%len(gop)]
+			id := b.AddSet(fc.Weight)
+			vi.Class = append(vi.Class, fc.Name)
+			start := cursor
+			if cfg.Jitter > 0 {
+				start += rng.Intn(cfg.Jitter + 1)
+			}
+			placements = append(placements, placement{set: id, start: start, count: fc.Packets})
+			if end := start + fc.Packets; end > maxSlot {
+				maxSlot = end
+			}
+			cursor += spacing
+			vi.TotalPackets += fc.Packets
+		}
+	}
+
+	membersOf := make([][]setsystem.SetID, maxSlot)
+	for _, p := range placements {
+		for r := 0; r < p.count; r++ {
+			membersOf[p.start+r] = append(membersOf[p.start+r], p.set)
+		}
+	}
+	for _, ms := range membersOf {
+		if len(ms) == 0 {
+			continue
+		}
+		vi.Slots++
+		b.AddElementCap(linkCap, ms...)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	vi.Inst = inst
+	return vi, nil
+}

@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setsystem"
+)
+
+func TestUniformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := Uniform(UniformConfig{M: 20, N: 50, Load: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumSets() != 20 {
+		t.Errorf("m = %d, want 20", inst.NumSets())
+	}
+	if inst.NumElements() < 50 {
+		t.Errorf("n = %d, want >= 50", inst.NumElements())
+	}
+	st := setsystem.Compute(inst)
+	if st.SigmaMax > 4 {
+		t.Errorf("σmax = %d > 4", st.SigmaMax)
+	}
+	if !inst.IsUnweighted() || !inst.IsUnitCapacity() {
+		t.Error("default Uniform should be unweighted, unit-capacity")
+	}
+}
+
+func TestUniformWeightsAndCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst, err := Uniform(UniformConfig{
+		M: 10, N: 30, Load: 3, Capacity: 2,
+		WeightFn: func(i int) float64 { return float64(i + 1) },
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.IsUnweighted() || inst.IsUnitCapacity() {
+		t.Error("weights/capacities not applied")
+	}
+	if inst.Weights[9] != 10 {
+		t.Errorf("weight[9] = %v, want 10", inst.Weights[9])
+	}
+}
+
+func TestUniformLoadClampedToM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := Uniform(UniformConfig{M: 3, N: 10, Load: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := setsystem.Compute(inst)
+	if st.SigmaMax > 3 {
+		t.Errorf("σmax = %d > m = 3", st.SigmaMax)
+	}
+}
+
+func TestUniformRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bad := []UniformConfig{
+		{M: 0, N: 5, Load: 1}, {M: 5, N: 0, Load: 1},
+		{M: 5, N: 5, Load: 0}, {M: 5, N: 5, Load: 1, Capacity: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Uniform(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Uniform(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestFixedSizeUniformK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst, err := FixedSize(FixedSizeConfig{M: 30, N: 60, K: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := setsystem.UniformSize(inst); !ok || k != 5 {
+		t.Errorf("UniformSize = %d,%v want 5,true", k, ok)
+	}
+}
+
+func TestFixedSizeRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, cfg := range []FixedSizeConfig{
+		{M: 0, N: 10, K: 2}, {M: 5, N: 3, K: 4}, {M: 5, N: 10, K: 0},
+	} {
+		if _, err := FixedSize(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("FixedSize(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestRegularIsBiregular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst, err := Regular(RegularConfig{M: 24, K: 3, Sigma: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := setsystem.UniformSize(inst); !ok || k != 3 {
+		t.Errorf("UniformSize = %d,%v want 3,true", k, ok)
+	}
+	if s, ok := setsystem.UniformLoad(inst); !ok || s != 4 {
+		t.Errorf("UniformLoad = %d,%v want 4,true", s, ok)
+	}
+	if inst.NumElements() != 18 { // M·K/Sigma
+		t.Errorf("n = %d, want 18", inst.NumElements())
+	}
+}
+
+func TestRegularRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, cfg := range []RegularConfig{
+		{M: 5, K: 3, Sigma: 4}, // 15 not divisible by 4
+		{M: 3, K: 3, Sigma: 5}, // σ > m
+		{M: 0, K: 1, Sigma: 1},
+	} {
+		if _, err := Regular(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Regular(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestRegularProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 6 + rng.Intn(10)*2 // even, ≥ 6
+		k := 2 + rng.Intn(3)
+		sigma := 2
+		if (m*k)%sigma != 0 {
+			return true
+		}
+		inst, err := Regular(RegularConfig{M: m, K: k, Sigma: sigma}, rng)
+		if err != nil {
+			t.Logf("Regular: %v", err)
+			return false
+		}
+		_, uk := setsystem.UniformSize(inst)
+		_, us := setsystem.UniformLoad(inst)
+		return uk && us && inst.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(1, 10)
+	if w(0) != 10 {
+		t.Errorf("w(0) = %v, want 10", w(0))
+	}
+	if math.Abs(w(1)-5) > 1e-12 {
+		t.Errorf("w(1) = %v, want 5", w(1))
+	}
+	if w(0) < w(5) {
+		t.Error("Zipf weights must decrease")
+	}
+	wDefault := ZipfWeights(2, 0)
+	if wDefault(0) != 1 {
+		t.Errorf("scale 0 should default to 1, got %v", wDefault(0))
+	}
+}
+
+func TestPlantedCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pi, err := Planted(PlantedConfig{Planted: 8, K: 4, Noise: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pi.PlantedWeight != 8 {
+		t.Errorf("PlantedWeight = %v, want 8", pi.PlantedWeight)
+	}
+	// Certificate: planted sets pairwise disjoint.
+	inPlanted := make(map[setsystem.SetID]bool)
+	for _, s := range pi.Planted {
+		inPlanted[s] = true
+	}
+	for j, e := range pi.Inst.Elements {
+		count := 0
+		for _, s := range e.Members {
+			if inPlanted[s] {
+				count++
+			}
+		}
+		if count > 1 {
+			t.Fatalf("element %d touches %d planted sets", j, count)
+		}
+	}
+	// All sets have size K.
+	if k, ok := setsystem.UniformSize(pi.Inst); !ok || k != 4 {
+		t.Errorf("UniformSize = %d,%v want 4,true", k, ok)
+	}
+}
+
+func TestPlantedRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, cfg := range []PlantedConfig{
+		{Planted: 0, K: 2}, {Planted: 2, K: 0}, {Planted: 2, K: 2, Noise: -1},
+		{Planted: 2, K: 2, Noise: 1, NoiseWeight: -3},
+	} {
+		if _, err := Planted(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Planted(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestVideoShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vi, err := Video(VideoConfig{Streams: 4, FramesPerStream: 12, Jitter: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vi.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vi.Inst.NumSets(), 48; got != want {
+		t.Errorf("m = %d, want %d", got, want)
+	}
+	if len(vi.Class) != 48 {
+		t.Errorf("Class len = %d", len(vi.Class))
+	}
+	// GoP accounting: 12 frames/stream = 3 GoPs of (8+4+2+2) packets.
+	if got, want := vi.TotalPackets, 4*3*16; got != want {
+		t.Errorf("TotalPackets = %d, want %d", got, want)
+	}
+	// Sizes match class packet counts.
+	for i, c := range vi.Class {
+		want := map[string]int{"I": 8, "P": 4, "B": 2}[c]
+		if vi.Inst.Sizes[i] != want {
+			t.Fatalf("frame %d class %s size %d, want %d", i, c, vi.Inst.Sizes[i], want)
+		}
+	}
+}
+
+func TestVideoLinkCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	vi, err := Video(VideoConfig{Streams: 2, FramesPerStream: 4, LinkCapacity: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range vi.Inst.Elements {
+		if e.Capacity != 3 {
+			t.Fatalf("element capacity %d, want 3", e.Capacity)
+		}
+	}
+}
+
+func TestVideoRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	bad := []VideoConfig{
+		{Streams: 0, FramesPerStream: 1},
+		{Streams: 1, FramesPerStream: 0},
+		{Streams: 1, FramesPerStream: 1, GoP: []FrameClass{}},
+		{Streams: 1, FramesPerStream: 1, GoP: []FrameClass{{Packets: 0, Weight: 1}}},
+		{Streams: 1, FramesPerStream: 1, LinkCapacity: -1},
+		{Streams: 1, FramesPerStream: 1, Jitter: -1},
+		{Streams: 1, FramesPerStream: 1, Spacing: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Video(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Video(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestMultihopShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	mi, err := Multihop(MultihopConfig{Hops: 6, Packets: 40, Horizon: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mi.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mi.Inst.NumSets() != 40 {
+		t.Errorf("m = %d, want 40", mi.Inst.NumSets())
+	}
+	if len(mi.ElementAt) != mi.Inst.NumElements() {
+		t.Errorf("ElementAt len %d != n %d", len(mi.ElementAt), mi.Inst.NumElements())
+	}
+	// Elements in lexicographic (time, hop) order.
+	for j := 1; j < len(mi.ElementAt); j++ {
+		a, b := mi.ElementAt[j-1], mi.ElementAt[j]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("elements out of order at %d: %v then %v", j, a, b)
+		}
+	}
+	// Routes are consecutive diagonal cells and match set sizes.
+	for i, route := range mi.Routes {
+		if len(route) != mi.Inst.Sizes[i] {
+			t.Fatalf("packet %d route %d cells, size %d", i, len(route), mi.Inst.Sizes[i])
+		}
+		for d := 1; d < len(route); d++ {
+			if route[d][0] != route[d-1][0]+1 || route[d][1] != route[d-1][1]+1 {
+				t.Fatalf("packet %d route not diagonal: %v", i, route)
+			}
+		}
+	}
+}
+
+func TestMultihopRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	bad := []MultihopConfig{
+		{Hops: 1, Packets: 1, Horizon: 1},
+		{Hops: 3, Packets: 0, Horizon: 1},
+		{Hops: 3, Packets: 1, Horizon: 0},
+		{Hops: 3, Packets: 1, Horizon: 1, MaxRoute: 1},
+		{Hops: 3, Packets: 1, Horizon: 1, Capacity: -2},
+	}
+	for _, cfg := range bad {
+		if _, err := Multihop(cfg, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Multihop(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}

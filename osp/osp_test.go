@@ -1,0 +1,211 @@
+package osp_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/osp"
+)
+
+func buildTriangle(t *testing.T) *osp.Instance {
+	t.Helper()
+	var b osp.Builder
+	a := b.AddSet(1)
+	bb := b.AddSet(2)
+	c := b.AddSet(3)
+	b.AddElement(a, bb)
+	b.AddElement(a, c)
+	b.AddElement(bb, c)
+	return b.MustBuild()
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	inst := buildTriangle(t)
+
+	res, err := osp.Run(inst, osp.NewRandPr(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit < 0 || res.Benefit > 6 {
+		t.Errorf("Benefit = %v out of range", res.Benefit)
+	}
+
+	sol, err := osp.Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight != 3 {
+		t.Errorf("Exact = %v, want 3", sol.Weight)
+	}
+
+	if got, want := osp.ExpectedBenefit(inst), 14.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedBenefit = %v, want %v", got, want)
+	}
+
+	lp, err := osp.LPBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp < sol.Weight-1e-9 {
+		t.Errorf("LPBound %v < exact %v", lp, sol.Weight)
+	}
+
+	st := osp.ComputeStats(inst)
+	if b := osp.Theorem1Bound(st); math.Abs(b-2*math.Sqrt2) > 1e-9 {
+		t.Errorf("Theorem1Bound = %v", b)
+	}
+	if osp.Corollary6Bound(st) < osp.Theorem1Bound(st)-1e-9 {
+		t.Error("bound ordering violated")
+	}
+}
+
+func TestPublicAPIRatioRespectsTheorem1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst, err := osp.RandomInstance(osp.UniformConfig{M: 14, N: 30, Load: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ealg := osp.ExpectedBenefit(inst)
+	sol, err := osp.Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := osp.ComputeStats(inst)
+	if ratio := sol.Weight / ealg; ratio > osp.Theorem1Bound(st)+1e-9 {
+		t.Errorf("ratio %v exceeds Theorem 1 bound %v", ratio, osp.Theorem1Bound(st))
+	}
+}
+
+func TestPublicAdversary(t *testing.T) {
+	adv, err := osp.NewDeterministicAdversary(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, inst, err := osp.RunSource(adv, osp.Baselines()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit > 1 {
+		t.Errorf("deterministic baseline completed %v sets against the adversary", res.Benefit)
+	}
+	if inst.NumSets() != 9 {
+		t.Errorf("m = %d, want 9", inst.NumSets())
+	}
+	if got := len(adv.Certificate()); got != 3 {
+		t.Errorf("certificate = %d, want σ^(k−1) = 3", got)
+	}
+}
+
+func TestPublicLemma9(t *testing.T) {
+	li, err := osp.NewLemma9(2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := li.VerifyPlanted(); err != nil {
+		t.Fatal(err)
+	}
+	if li.Inst.NumSets() != 16 {
+		t.Errorf("m = %d, want ℓ⁴ = 16", li.Inst.NumSets())
+	}
+}
+
+func TestPublicDistributedConsistency(t *testing.T) {
+	inst := buildTriangle(t)
+	r1, err := osp.Run(inst, osp.NewHashRandPr(99), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := osp.Run(inst, osp.NewHashRandPr(99), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Benefit != r2.Benefit {
+		t.Error("same-seed distributed runs disagree")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vi, err := osp.VideoInstance(osp.VideoConfig{Streams: 2, FramesPerStream: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vi.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mi, err := osp.MultihopInstance(osp.MultihopConfig{Hops: 4, Packets: 10, Horizon: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mi.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := osp.ZipfWeights(1, 4)
+	if w(0) != 4 {
+		t.Errorf("ZipfWeights(0) = %v", w(0))
+	}
+	if g := osp.GreedyOffline(vi.Inst); g.Weight <= 0 {
+		t.Errorf("GreedyOffline weight = %v", g.Weight)
+	}
+	if _, _, err := osp.MeanBenefit(vi.Inst, osp.NewRandPrActiveOnly(), 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCodecRoundTrip(t *testing.T) {
+	inst := buildTriangle(t)
+	var buf bytes.Buffer
+	if err := osp.Encode(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	out, err := osp.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSets() != 3 || out.NumElements() != 3 {
+		t.Errorf("round trip shape (%d,%d)", out.NumSets(), out.NumElements())
+	}
+}
+
+func TestPublicPartialCredit(t *testing.T) {
+	inst := buildTriangle(t)
+	res, err := osp.Run(inst, osp.NewSlackAware(osp.NewRandPr(), 1), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := osp.PartialBenefit(inst, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := osp.PartialBenefit(inst, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 < b0 {
+		t.Errorf("partial benefit not monotone: %v < %v", b2, b0)
+	}
+	if b2 != 6 {
+		t.Errorf("slack 2 covers every triangle set, got %v", b2)
+	}
+}
+
+func TestPublicProofChain(t *testing.T) {
+	inst := buildTriangle(t)
+	sol, err := osp.Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := osp.VerifyProofChain(inst, sol.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.EAlg <= 0 {
+		t.Error("chain not populated")
+	}
+	ps := osp.SurvivalProbabilities(inst)
+	if len(ps) != 3 || math.Abs(ps[2]-0.5) > 1e-12 {
+		t.Errorf("survival probabilities = %v", ps)
+	}
+}
