@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gadget"
 	"repro/internal/gf"
@@ -28,9 +29,14 @@ import (
 	"repro/internal/workload"
 )
 
-// benchExperiment runs one experiment in quick mode per iteration.
+// benchExperiment runs one experiment in quick mode per iteration. The
+// experiment benchmarks regenerate whole result tables and are the heavy
+// end of the suite, so they are skipped under -short.
 func benchExperiment(b *testing.B, id string, trials int) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment benchmarks skipped in -short mode")
+	}
 	exp, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -237,4 +243,64 @@ func BenchmarkMultihopSimulate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- streaming engine benchmarks ---
+
+// benchEngineShards replays a dense generated video workload through the
+// sharded streaming engine and reports end-to-end element throughput.
+// Comparing Shards{1,2,4,8} is the scaling trajectory of the admission
+// hot path; speedup tracks GOMAXPROCS (shards time-slice on fewer cores).
+func benchEngineShards(b *testing.B, shards int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	vi, err := workload.Video(workload.VideoConfig{
+		Streams: 256, FramesPerStream: 24, Jitter: 6, LinkCapacity: 4,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Replay(vi.Inst, hashpr.Mixer{Seed: uint64(i)}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elems := float64(b.N) * float64(vi.Inst.NumElements())
+	b.ReportMetric(elems/b.Elapsed().Seconds(), "elements/s")
+}
+
+func BenchmarkEngineShards1(b *testing.B) { benchEngineShards(b, 1) }
+func BenchmarkEngineShards2(b *testing.B) { benchEngineShards(b, 2) }
+func BenchmarkEngineShards4(b *testing.B) { benchEngineShards(b, 4) }
+func BenchmarkEngineShards8(b *testing.B) { benchEngineShards(b, 8) }
+
+// BenchmarkEngineVsSerial pins the engine's single-shard overhead against
+// the serial HashRandPr runner on the same workload.
+func BenchmarkEngineVsSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	vi, err := workload.Video(workload.VideoConfig{
+		Streams: 256, FramesPerStream: 24, Jitter: 6, LinkCapacity: 4,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			alg := &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(i)}}
+			if _, err := core.Run(vi.Inst, alg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		cfg := engine.Config{Shards: 1, BatchSize: 128}
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Replay(vi.Inst, hashpr.Mixer{Seed: uint64(i)}, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/setsystem"
+)
+
+func TestServeVideoVerified(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "video", "-streams", "8", "-frames", "6",
+		"-shards", "3", "-batch", "8", "-verify",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"workload: video", "engine: 3 shards", "throughput:", "admission:", "goodput:", "verify: engine output identical"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestServeAllWorkloads(t *testing.T) {
+	for _, kind := range []string{"video", "bursty", "multihop", "uniform"} {
+		var buf bytes.Buffer
+		args := []string{"-workload", kind, "-streams", "4", "-frames", "4",
+			"-hops", "4", "-packets", "30", "-horizon", "6",
+			"-m", "20", "-n", "100", "-load", "3", "-verify"}
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestServeRateLimited(t *testing.T) {
+	var buf bytes.Buffer
+	// ~66 elements at 5000/s ≈ 13ms — enough to exercise the pacing
+	// branch without slowing the suite.
+	err := run([]string{"-workload", "uniform", "-m", "10", "-n", "66", "-load", "2",
+		"-rate", "5000", "-report", "5ms"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rate target 5000 elements/s") {
+		t.Errorf("rate target not echoed:\n%s", buf.String())
+	}
+}
+
+func TestServeTrace(t *testing.T) {
+	var b setsystem.Builder
+	a := b.AddSet(1)
+	c := b.AddSet(2)
+	b.AddElement(a, c)
+	b.AddElement(a)
+	b.AddElement(c)
+	inst := b.MustBuild()
+
+	path := filepath.Join(t.TempDir(), "trace.osp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setsystem.Encode(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-verify"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workload: trace") {
+		t.Errorf("trace workload not reported:\n%s", buf.String())
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run([]string{"-trace", "/definitely/missing"}, &buf); err == nil {
+		t.Error("missing trace should error")
+	}
+	if err := run([]string{"-workload", "video", "-streams", "0"}, &buf); err == nil {
+		t.Error("bad generator config should error")
+	}
+}

@@ -5,8 +5,9 @@
 //	PODC 2010.
 //
 // The public API lives in package repro/osp; the implementation in
-// internal/{setsystem,dist,hashpr,gf,gadget,core,offline,lowerbound,
-// workload,router,stats,experiments}. See README.md for the tour,
+// internal/{setsystem,dist,hashpr,gf,gadget,core,engine,offline,
+// lowerbound,workload,router,stats,experiments}. See README.md for the
+// tour,
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the measured
 // reproduction of every theorem. The root package holds only the
 // repository-level benchmark harness (bench_test.go), which regenerates

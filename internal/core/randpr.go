@@ -86,11 +86,21 @@ func (a *HashRandPr) Reset(info Info, _ *rand.Rand) error {
 	if a.Hasher == nil {
 		return errors.New("core: HashRandPr needs a Hasher")
 	}
-	a.priorities = resize(a.priorities, info.NumSets())
-	for i, w := range info.Weights {
-		a.priorities[i] = dist.FromUniform(a.Hasher.Uniform(uint64(i)), w)
-	}
+	a.priorities = HashPriorities(info, a.Hasher, a.priorities)
 	return nil
+}
+
+// HashPriorities returns the hash-derived R_w priority of every set,
+// reusing buf's storage when possible. It is the single priority code path
+// shared by HashRandPr and the sharded streaming engine: any components
+// given the same hasher and info agree on every priority with zero
+// coordination (Section 3.1).
+func HashPriorities(info Info, h hashpr.UniformHasher, buf []float64) []float64 {
+	buf = resize(buf, info.NumSets())
+	for i, w := range info.Weights {
+		buf[i] = dist.FromUniform(h.Uniform(uint64(i)), w)
+	}
+	return buf
 }
 
 // Choose implements Algorithm.
@@ -109,7 +119,27 @@ func chooseTopPriority(ev ElementView, prio []float64, activeOnly bool, buf *[]s
 		}
 		cands = append(cands, s)
 	}
-	if len(cands) > ev.Capacity {
+	cands = topByPriority(cands, ev.Capacity, prio)
+	*buf = cands
+	return cands
+}
+
+// SelectTopPriority is the faithful randPr admission rule as a pure
+// function: the (up to) capacity members with the highest priorities,
+// ascending SetID order, ties broken by lower SetID. Because it depends
+// only on the element and the fixed priority vector — never on run state —
+// shards of the streaming engine can decide elements concurrently and
+// still agree element-for-element with a serial HashRandPr run. The result
+// reuses buf's storage when possible.
+func SelectTopPriority(members []setsystem.SetID, capacity int, prio []float64, buf []setsystem.SetID) []setsystem.SetID {
+	cands := append(buf[:0], members...)
+	return topByPriority(cands, capacity, prio)
+}
+
+// topByPriority trims cands in place to the capacity highest-priority
+// entries and restores ascending SetID order.
+func topByPriority(cands []setsystem.SetID, capacity int, prio []float64) []setsystem.SetID {
+	if len(cands) > capacity {
 		sort.Slice(cands, func(i, j int) bool {
 			pi, pj := prio[cands[i]], prio[cands[j]]
 			if pi != pj {
@@ -117,10 +147,9 @@ func chooseTopPriority(ev ElementView, prio []float64, activeOnly bool, buf *[]s
 			}
 			return cands[i] < cands[j]
 		})
-		cands = cands[:ev.Capacity]
+		cands = cands[:capacity]
 		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	}
-	*buf = cands
 	return cands
 }
 

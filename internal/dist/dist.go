@@ -1,0 +1,33 @@
+// Package dist implements the paper's priority law R_w (Section 3): the
+// distribution on [0,1] with CDF F(x) = x^w. randPr draws each set's
+// priority r(S) ~ R_{w(S)}; when an element picks its highest-priority
+// parent, set S beats its competitors T with probability
+//
+//	Pr[r(S) = max] = w(S) / w({S} ∪ T),
+//
+// the weighted race that Lemma 1 turns into the exact survival law
+// Pr[S ∈ ALG] = w(S)/w(N[S]). The inverse-transform form u^(1/w) also
+// powers the distributed variant: a hash-derived uniform variate maps to
+// an R_w priority with zero coordination (Section 3.1).
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FromUniform maps a uniform [0,1) variate to an R_w priority by inverse
+// transform: F(x) = x^w gives F⁻¹(u) = u^(1/w). Non-positive weights get
+// priority 0, so they lose every contested element (a weight-0 set pays
+// nothing either way).
+func FromUniform(u, w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return math.Pow(u, 1/w)
+}
+
+// Sample draws one priority r ~ R_w using rng.
+func Sample(rng *rand.Rand, w float64) float64 {
+	return FromUniform(rng.Float64(), w)
+}

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromUniformRange(t *testing.T) {
+	for _, w := range []float64{0.5, 1, 2, 8, 100} {
+		for _, u := range []float64{0, 0.25, 0.5, 0.999999} {
+			p := FromUniform(u, w)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Errorf("FromUniform(%v, %v) = %v out of [0,1]", u, w, p)
+			}
+		}
+	}
+}
+
+func TestFromUniformMonotoneInU(t *testing.T) {
+	for _, w := range []float64{0.5, 1, 3, 10} {
+		prev := -1.0
+		for u := 0.0; u < 1; u += 0.01 {
+			p := FromUniform(u, w)
+			if p < prev {
+				t.Fatalf("FromUniform not monotone at u=%v, w=%v", u, w)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestNonPositiveWeightLoses(t *testing.T) {
+	if got := FromUniform(0.9, 0); got != 0 {
+		t.Errorf("weight 0 priority = %v, want 0", got)
+	}
+	if got := FromUniform(0.9, -1); got != 0 {
+		t.Errorf("negative weight priority = %v, want 0", got)
+	}
+}
+
+// The weighted race behind Lemma 1: among priorities r_i ~ R_{w_i}, set i
+// wins with probability w_i / Σ_j w_j.
+func TestRaceProbability(t *testing.T) {
+	weights := []float64{1, 2, 5}
+	total := 8.0
+	const trials = 200_000
+	rng := rand.New(rand.NewSource(7))
+	wins := make([]int, len(weights))
+	for t := 0; t < trials; t++ {
+		best, bestP := -1, -1.0
+		for i, w := range weights {
+			if p := Sample(rng, w); p > bestP {
+				best, bestP = i, p
+			}
+		}
+		wins[best]++
+	}
+	for i, w := range weights {
+		got := float64(wins[i]) / trials
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("set %d won %.4f of races, want %.4f", i, got, want)
+		}
+	}
+}
+
+// CDF check: Pr[R_w <= x] = x^w.
+func TestCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const trials = 100_000
+	for _, w := range []float64{0.5, 2, 4} {
+		for _, x := range []float64{0.3, 0.7} {
+			count := 0
+			for i := 0; i < trials; i++ {
+				if Sample(rng, w) <= x {
+					count++
+				}
+			}
+			got := float64(count) / trials
+			want := math.Pow(x, w)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("Pr[R_%v <= %v] = %.4f, want %.4f", w, x, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package engine is the sharded concurrent streaming admission engine: it
+// serves a live element stream through the paper's distributed randPr at
+// multi-core throughput.
+//
+// The design exploits the observation behind Section 3.1: the faithful
+// randPr decision for an element depends only on the element itself and on
+// the fixed hash-derived R_w priorities — never on the run state. Shards
+// therefore need no locks, no shared mutable state and no coordination on
+// the hot path:
+//
+//   - New computes the priority vector once (core.HashPriorities, the same
+//     code path HashRandPr uses) and hands every shard a read-only view.
+//   - Submit batches arriving elements and hands full batches to shard
+//     workers round-robin over bounded channels; a full queue blocks the
+//     submitter, giving natural backpressure.
+//   - Each shard decides its elements with core.SelectTopPriority and
+//     accumulates per-set assignment counts in shard-local arrays.
+//   - Drain flushes, stops the workers and merges the shard counters into
+//     a Result that is bit-for-bit identical to a serial core.Run with
+//     HashRandPr under the same seed: integer assignment counts commute
+//     across shards, and the completion sweep re-walks sets in ascending
+//     order exactly as the serial runner does.
+//
+// Live progress is observable through Metrics while the stream is open.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+)
+
+// Config sizes the engine. The zero value is usable: one shard per CPU,
+// 64-element batches, 8 queued batches per shard.
+type Config struct {
+	// Shards is the number of worker goroutines; 0 means GOMAXPROCS.
+	Shards int
+	// BatchSize is the number of elements per ingestion batch; 0 means 64.
+	BatchSize int
+	// QueueDepth is the number of batches each shard buffers before
+	// Submit blocks (backpressure); 0 means 8.
+	QueueDepth int
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// Errors reported by the engine. Invalid elements are rejected with the
+// setsystem validation errors (setsystem.ErrBadCapacity,
+// setsystem.ErrMemberRange, …).
+var (
+	ErrDrained   = errors.New("engine: stream already drained")
+	ErrNilHasher = errors.New("engine: nil hasher")
+)
+
+// Engine streams elements through sharded randPr admission. Submit and
+// Drain must be called from a single goroutine (the arrival stream is a
+// sequence, as in the OSP protocol); the shard workers run concurrently
+// underneath.
+type Engine struct {
+	cfg     Config
+	info    core.Info
+	prio    []float64 // read-only after New; shared by all shards
+	shards  []*shard
+	wg      sync.WaitGroup
+	batch   *[]setsystem.Element
+	next    int       // round-robin shard cursor
+	pool    sync.Pool // *[]setsystem.Element, pointer-typed to avoid boxing
+	metrics Metrics
+	result  *core.Result
+}
+
+// shard is one worker: a bounded inbox and shard-local bookkeeping.
+type shard struct {
+	in       chan *[]setsystem.Element
+	assigned []int32
+	buf      []setsystem.SetID
+}
+
+// New builds an engine over the given up-front information (weights and
+// sizes), deriving priorities from hasher — typically hashpr.Mixer with a
+// shared seed — so every shard (and any serial replica given the same
+// seed) agrees on all priorities.
+func New(info core.Info, hasher hashpr.UniformHasher, cfg Config) (*Engine, error) {
+	if hasher == nil {
+		return nil, ErrNilHasher
+	}
+	cfg = cfg.withDefaults()
+	first := make([]setsystem.Element, 0, cfg.BatchSize)
+	e := &Engine{
+		cfg:    cfg,
+		info:   info,
+		prio:   core.HashPriorities(info, hasher, nil),
+		shards: make([]*shard, cfg.Shards),
+		batch:  &first,
+	}
+	e.pool.New = func() any {
+		b := make([]setsystem.Element, 0, cfg.BatchSize)
+		return &b
+	}
+	e.metrics.start()
+	for i := range e.shards {
+		s := &shard{
+			in:       make(chan *[]setsystem.Element, cfg.QueueDepth),
+			assigned: make([]int32, info.NumSets()),
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.run(s)
+	}
+	return e, nil
+}
+
+// run is the shard worker loop: decide every element of every inbound
+// batch with the pure randPr rule and count assignments locally. No locks,
+// no shared writes — only the amortized per-batch metrics publication.
+func (e *Engine) run(s *shard) {
+	defer e.wg.Done()
+	for bp := range s.in {
+		batch := *bp
+		var assigned, dropped uint64
+		for _, el := range batch {
+			choice := core.SelectTopPriority(el.Members, el.Capacity, e.prio, s.buf)
+			s.buf = choice
+			for _, id := range choice {
+				s.assigned[id]++
+			}
+			assigned += uint64(len(choice))
+			dropped += uint64(len(el.Members) - len(choice))
+		}
+		e.metrics.observeBatch(uint64(len(batch)), assigned, dropped)
+		*bp = batch[:0]
+		e.pool.Put(bp)
+	}
+}
+
+// Submit offers one arriving element to the stream. It validates the
+// element, buffers it into the current batch and, when the batch is full,
+// hands it to the next shard — blocking if that shard's queue is full
+// (backpressure). The element's Members slice is retained until the batch
+// is processed; callers that reuse member buffers must copy first.
+func (e *Engine) Submit(el setsystem.Element) error {
+	if e.result != nil {
+		return ErrDrained
+	}
+	if err := setsystem.CheckElement(el, e.info.NumSets()); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	*e.batch = append(*e.batch, el)
+	e.metrics.submitted.Add(1)
+	if len(*e.batch) >= e.cfg.BatchSize {
+		e.flush()
+	}
+	return nil
+}
+
+// flush hands the current batch to the next shard round-robin.
+func (e *Engine) flush() {
+	if len(*e.batch) == 0 {
+		return
+	}
+	e.shards[e.next].in <- e.batch
+	e.next = (e.next + 1) % len(e.shards)
+	e.batch = e.pool.Get().(*[]setsystem.Element)
+}
+
+// Drain closes the stream: it flushes the partial batch, stops all shard
+// workers and merges their bookkeeping into the final Result. The result
+// is bit-for-bit identical to core.Run with a HashRandPr sharing the
+// engine's hasher: assignment counts are exact integer sums, and the
+// completion sweep accumulates benefit in ascending SetID order exactly
+// like the serial runner. Drain is idempotent; subsequent Submits fail
+// with ErrDrained.
+func (e *Engine) Drain() (*core.Result, error) {
+	if e.result != nil {
+		return e.result, nil
+	}
+	e.flush()
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+
+	total := make([]int32, e.info.NumSets())
+	for _, s := range e.shards {
+		for i, c := range s.assigned {
+			total[i] += c
+		}
+	}
+	res := &core.Result{Assigned: total}
+	for i, w := range e.info.Weights {
+		if int(total[i]) == e.info.Sizes[i] {
+			res.Completed = append(res.Completed, setsystem.SetID(i))
+			res.Benefit += w
+		}
+	}
+	e.result = res
+	e.metrics.finish(res)
+	return res, nil
+}
+
+// Metrics returns the engine's live counters. Safe to read concurrently
+// with the stream.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// NumShards returns the resolved shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Replay streams a whole instance through a fresh engine and returns the
+// final result — the concurrent counterpart of core.Run(inst,
+// HashRandPr{hasher}, nil).
+func Replay(inst *setsystem.Instance, hasher hashpr.UniformHasher, cfg Config) (*core.Result, error) {
+	e, err := New(core.InfoOf(inst), hasher, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, el := range inst.Elements {
+		if err := e.Submit(el); err != nil {
+			e.Drain() // stop the shard workers before bailing out
+			return nil, err
+		}
+	}
+	return e.Drain()
+}

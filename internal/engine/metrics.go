@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Metrics is the engine's live instrumentation: lock-free counters updated
+// once per batch on the shard side and once per element on the submit
+// side. Read a consistent-enough view with Snapshot at any time during or
+// after the stream.
+type Metrics struct {
+	startedAt time.Time
+
+	submitted atomic.Uint64 // elements accepted by Submit
+	processed atomic.Uint64 // elements decided by shard workers
+	batches   atomic.Uint64 // batches handed to shards
+	assigned  atomic.Uint64 // element→set assignments made
+	dropped   atomic.Uint64 // memberships denied (packets dropped)
+
+	completedSets   atomic.Int64  // set at Drain
+	completedWeight atomic.Uint64 // float64 bits, set at Drain
+	finishedAt      atomic.Int64  // unix nanos, 0 while streaming
+}
+
+func (m *Metrics) start() { m.startedAt = time.Now() }
+
+// observeBatch publishes one processed batch's counters.
+func (m *Metrics) observeBatch(elements, assigned, dropped uint64) {
+	m.processed.Add(elements)
+	m.batches.Add(1)
+	m.assigned.Add(assigned)
+	m.dropped.Add(dropped)
+}
+
+// finish records the drain-time completion totals.
+func (m *Metrics) finish(res *core.Result) {
+	m.completedSets.Store(int64(len(res.Completed)))
+	m.completedWeight.Store(math.Float64bits(res.Benefit))
+	m.finishedAt.Store(time.Now().UnixNano())
+}
+
+// Snapshot is a point-in-time copy of the counters with derived rates.
+type Snapshot struct {
+	// Submitted counts elements accepted by Submit; Processed counts
+	// elements already decided by a shard. Submitted−Processed is the
+	// in-flight backlog (batching plus queued batches).
+	Submitted, Processed uint64
+	// Batches is the number of batches handed to shards.
+	Batches uint64
+	// Assigned is the total element→set assignments made; Dropped is the
+	// memberships denied — in the router reading, packets dropped.
+	Assigned, Dropped uint64
+	// CompletedSets and CompletedWeight are the drain-time completion
+	// totals (zero while the stream is open).
+	CompletedSets   int
+	CompletedWeight float64
+	// Elapsed is time since New, frozen at Drain.
+	Elapsed time.Duration
+	// ElementsPerSec is Processed/Elapsed.
+	ElementsPerSec float64
+}
+
+// Snapshot reads the counters. Safe to call concurrently with the stream;
+// the counters are individually atomic (a snapshot mid-batch may be
+// momentarily out of sync across fields by one batch).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Submitted:       m.submitted.Load(),
+		Processed:       m.processed.Load(),
+		Batches:         m.batches.Load(),
+		Assigned:        m.assigned.Load(),
+		Dropped:         m.dropped.Load(),
+		CompletedSets:   int(m.completedSets.Load()),
+		CompletedWeight: math.Float64frombits(m.completedWeight.Load()),
+	}
+	if end := m.finishedAt.Load(); end != 0 {
+		s.Elapsed = time.Unix(0, end).Sub(m.startedAt)
+	} else {
+		s.Elapsed = time.Since(m.startedAt)
+	}
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.ElementsPerSec = float64(s.Processed) / secs
+	}
+	return s
+}
+
+// String formats the snapshot as a one-line report.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("elements=%d rate=%.0f/s assigned=%d dropped=%d completed=%d weight=%.1f",
+		s.Processed, s.ElementsPerSec, s.Assigned, s.Dropped, s.CompletedSets, s.CompletedWeight)
+}

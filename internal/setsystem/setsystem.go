@@ -154,23 +154,11 @@ func (in *Instance) Validate() error {
 		}
 	}
 	counts := make([]int, len(in.Sizes))
-	m := SetID(len(in.Weights))
 	for j, e := range in.Elements {
-		if e.Capacity < 1 {
-			return fmt.Errorf("%w: element %d has capacity %d", ErrBadCapacity, j, e.Capacity)
+		if err := CheckElement(e, len(in.Weights)); err != nil {
+			return fmt.Errorf("element %d: %w", j, err)
 		}
-		if len(e.Members) == 0 {
-			return fmt.Errorf("%w: element %d", ErrEmptyElement, j)
-		}
-		prev := SetID(-1)
 		for _, s := range e.Members {
-			if s < 0 || s >= m {
-				return fmt.Errorf("%w: element %d lists set %d (m=%d)", ErrMemberRange, j, s, m)
-			}
-			if s <= prev {
-				return fmt.Errorf("%w: element %d", ErrBadMemberOrder, j)
-			}
-			prev = s
 			counts[s]++
 		}
 	}
@@ -178,6 +166,30 @@ func (in *Instance) Validate() error {
 		if c != in.Sizes[i] {
 			return fmt.Errorf("%w: set %d declared %d, has %d", ErrSizeMismatch, i, in.Sizes[i], c)
 		}
+	}
+	return nil
+}
+
+// CheckElement validates one element against a universe of m sets:
+// capacity at least 1, at least one member, members strictly increasing
+// and in [0, m). It is the per-element slice of Validate, shared with
+// streaming ingestion paths that must reject elements as they arrive.
+func CheckElement(e Element, m int) error {
+	if e.Capacity < 1 {
+		return fmt.Errorf("%w: capacity %d", ErrBadCapacity, e.Capacity)
+	}
+	if len(e.Members) == 0 {
+		return ErrEmptyElement
+	}
+	prev := SetID(-1)
+	for _, s := range e.Members {
+		if s < 0 || s >= SetID(m) {
+			return fmt.Errorf("%w: set %d (m=%d)", ErrMemberRange, s, m)
+		}
+		if s <= prev {
+			return fmt.Errorf("%w: set %d after %d", ErrBadMemberOrder, s, prev)
+		}
+		prev = s
 	}
 	return nil
 }

@@ -28,11 +28,13 @@
 //	res, err := osp.Run(inst, osp.NewRandPr(), rand.New(rand.NewSource(1)))
 //	// res.Benefit is the completed weight; compare with osp.Exact(inst).
 //
-// The subpackage layout mirrors the paper: the core algorithm and engine,
-// offline optima for competitive-ratio measurements, the lower-bound
-// constructions of Section 4, workload generators for the systems
-// scenarios, and an experiment harness reproducing every theorem
-// (see DESIGN.md and EXPERIMENTS.md).
+// The subpackage layout mirrors the paper: the core algorithm, the
+// sharded concurrent streaming engine (NewEngine) that serves live
+// element streams at multi-core throughput, offline optima for
+// competitive-ratio measurements, the lower-bound constructions of
+// Section 4, workload generators for the systems scenarios, and an
+// experiment harness reproducing every theorem (see DESIGN.md and
+// EXPERIMENTS.md).
 package osp
 
 import (
@@ -41,6 +43,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hashpr"
 	"repro/internal/lowerbound"
 	"repro/internal/offline"
@@ -69,6 +72,22 @@ type (
 	Result = core.Result
 	// Source produces a (possibly adaptive) element stream.
 	Source = core.Source
+	// Info is the up-front knowledge an online algorithm receives:
+	// per-set weights and declared sizes.
+	Info = core.Info
+
+	// Engine is the sharded concurrent streaming admission engine: it
+	// serves a live element stream through coordination-free randPr
+	// priorities at multi-core throughput, with results bit-for-bit
+	// identical to a serial NewHashRandPr run under the same seed.
+	Engine = engine.Engine
+	// EngineConfig sizes the engine: shard workers, ingestion batch size
+	// and per-shard queue depth (backpressure).
+	EngineConfig = engine.Config
+	// EngineMetrics exposes the engine's live lock-free counters.
+	EngineMetrics = engine.Metrics
+	// EngineSnapshot is a point-in-time view of EngineMetrics.
+	EngineSnapshot = engine.Snapshot
 
 	// Solution is an offline packing with its weight.
 	Solution = offline.Solution
@@ -77,6 +96,26 @@ type (
 // ComputeStats scans an instance and returns its parameter statistics
 // (σ, σmax, kmax, weighted loads, adjusted loads, …).
 func ComputeStats(inst *Instance) Stats { return setsystem.Compute(inst) }
+
+// InfoOf extracts the up-front information (weights and sizes) of an
+// instance — what NewEngine needs before the stream starts.
+func InfoOf(inst *Instance) Info { return core.InfoOf(inst) }
+
+// NewEngine opens a sharded concurrent streaming engine over the given
+// up-front information, deriving every priority from the shared 64-bit
+// seed so shards — and any serial or remote replica given the same seed —
+// agree on all decisions without coordination (Section 3.1). Feed arriving
+// elements with Engine.Submit and close the stream with Engine.Drain; the
+// drained Result is bit-for-bit identical to Run with NewHashRandPr(seed).
+func NewEngine(info Info, seed uint64, cfg EngineConfig) (*Engine, error) {
+	return engine.New(info, hashpr.Mixer{Seed: seed}, cfg)
+}
+
+// RunEngine streams a whole instance through a fresh engine — the
+// concurrent counterpart of Run(inst, NewHashRandPr(seed), nil).
+func RunEngine(inst *Instance, seed uint64, cfg EngineConfig) (*Result, error) {
+	return engine.Replay(inst, hashpr.Mixer{Seed: seed}, cfg)
+}
 
 // NewRandPr returns the paper's randomized algorithm: per-set priorities
 // drawn from R_w(S), each element assigned to its highest-priority

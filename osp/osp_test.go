@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/osp"
@@ -207,5 +208,49 @@ func TestPublicProofChain(t *testing.T) {
 	ps := osp.SurvivalProbabilities(inst)
 	if len(ps) != 3 || math.Abs(ps[2]-0.5) > 1e-12 {
 		t.Errorf("survival probabilities = %v", ps)
+	}
+}
+
+func TestPublicEngineMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst, err := osp.RandomInstance(osp.UniformConfig{M: 60, N: 600, Load: 5, Capacity: 2,
+		WeightFn: osp.ZipfWeights(1.1, 10)}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 99
+	want, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming path: NewEngine + Submit + Drain.
+	eng, err := osp.NewEngine(osp.InfoOf(inst), seed, osp.EngineConfig{Shards: 4, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range inst.Elements {
+		if err := eng.Submit(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := eng.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("engine result differs from serial HashRandPr:\nengine %+v\nserial %+v", got, want)
+	}
+	if snap := eng.Metrics().Snapshot(); snap.CompletedWeight != want.Benefit {
+		t.Errorf("metrics completed weight %v != %v", snap.CompletedWeight, want.Benefit)
+	}
+
+	// Convenience path: RunEngine.
+	got2, err := osp.RunEngine(inst, seed, osp.EngineConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Error("RunEngine result differs from serial HashRandPr")
 	}
 }
