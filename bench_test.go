@@ -26,6 +26,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/offline"
 	"repro/internal/router"
+	"repro/internal/setsystem"
 	"repro/internal/workload"
 )
 
@@ -244,6 +245,52 @@ func BenchmarkMultihopSimulate(b *testing.B) {
 		}
 	}
 }
+
+// --- admission kernel micro-benchmarks ---
+
+// selectSample generates the decide microbenchmark sample: elements whose
+// loads exceed their capacity so selection always trims, plus the shared
+// priority vector.
+func selectSample(b *testing.B, capacity, maxLoad int) ([]setsystem.Element, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(20))
+	inst, err := workload.Uniform(workload.UniformConfig{
+		M: 4096, N: 10_000, Load: maxLoad, MinLoad: capacity + 1, Capacity: capacity,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prio := core.HashPriorities(core.InfoOf(inst), hashpr.Mixer{Seed: 20}, nil)
+	return inst.Elements, prio
+}
+
+// benchSelect times one selection implementation over the whole sample per
+// iteration, reporting ns/element.
+func benchSelect(b *testing.B, capacity, maxLoad int,
+	sel func([]setsystem.SetID, int, []float64, []setsystem.SetID) []setsystem.SetID) {
+	b.Helper()
+	elems, prio := selectSample(b, capacity, maxLoad)
+	buf := make([]setsystem.SetID, 0, maxLoad)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, el := range elems {
+			buf = sel(el.Members, el.Capacity, prio, buf)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(len(elems))), "ns/element")
+}
+
+// The capacity<=8 regime (bounded insertion kernel) against the sort path
+// it replaced — the headline 2x+ of the zero-allocation rewrite.
+func BenchmarkSelectKernelCap4(b *testing.B) { benchSelect(b, 4, 16, core.SelectTopPriority) }
+func BenchmarkSelectSortCap4(b *testing.B)   { benchSelect(b, 4, 16, core.SelectTopPrioritySort) }
+
+// The large-capacity regime (quickselect kernel) against the same sort
+// path.
+func BenchmarkSelectKernelCap16(b *testing.B) { benchSelect(b, 16, 48, core.SelectTopPriority) }
+func BenchmarkSelectSortCap16(b *testing.B)   { benchSelect(b, 16, 48, core.SelectTopPrioritySort) }
 
 // --- streaming engine benchmarks ---
 

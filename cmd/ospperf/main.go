@@ -1,0 +1,332 @@
+// Command ospperf measures the admission hot path and emits the tracked
+// benchmark baseline (BENCH_1.json): ns/element and allocs/element for the
+// top-k decide kernel (against the sort-based path it replaced), the
+// serial runner, and the streaming engine across a shard-count matrix.
+//
+// Usage:
+//
+//	ospperf                       # full matrix, writes BENCH_1.json
+//	ospperf -quick -out /dev/null # CI smoke sizes
+//	ospperf -failonalloc          # exit 1 on any allocs/element > 0
+//
+// The JSON is the regression contract: future PRs rerun ospperf and
+// compare. CI runs the -quick -failonalloc mode on every push.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// Report is the schema of BENCH_1.json.
+type Report struct {
+	Bench         string       `json:"bench"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Quick         bool         `json:"quick"`
+	Decide        DecideBench  `json:"decide"`
+	Serial        SerialBench  `json:"serial"`
+	Engine        []ShardBench `json:"engine"`
+}
+
+// DecideBench is the capacity<=8 selection microbenchmark: the new
+// partial-selection kernel versus the sort-based path it replaced, on the
+// same element sample.
+type DecideBench struct {
+	Elements           int     `json:"elements"`
+	MeanLoad           float64 `json:"mean_load"`
+	CapacityMax        int     `json:"capacity_max"`
+	KernelNsPerElement float64 `json:"kernel_ns_per_element"`
+	SortNsPerElement   float64 `json:"sort_ns_per_element"`
+	Speedup            float64 `json:"speedup"`
+	AllocsPerElement   float64 `json:"allocs_per_element"`
+}
+
+// SerialBench is the serial HashRandPr runner on the matrix workload.
+type SerialBench struct {
+	Elements     int     `json:"elements"`
+	NsPerElement float64 `json:"ns_per_element"`
+}
+
+// ShardBench is one engine configuration on the matrix workload.
+type ShardBench struct {
+	Shards           int     `json:"shards"`
+	Elements         int     `json:"elements"`
+	NsPerElement     float64 `json:"ns_per_element"`
+	ElementsPerSec   float64 `json:"elements_per_sec"`
+	AllocsPerElement float64 `json:"allocs_per_element"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ospperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ospperf", flag.ContinueOnError)
+	var (
+		out         = fs.String("out", "BENCH_1.json", "output JSON path (- prints the JSON to stdout)")
+		shardsFlag  = fs.String("shards", "1,2,4,8", "comma-separated shard counts for the engine matrix")
+		quick       = fs.Bool("quick", false, "small sizes for a CI smoke pass")
+		reps        = fs.Int("reps", 3, "timed repetitions per cell (best-of)")
+		seed        = fs.Int64("seed", 1, "workload generation seed")
+		failOnAlloc = fs.Bool("failonalloc", false, "exit nonzero if any steady-state allocs/element > 0")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shardCounts, err := parseShards(*shardsFlag)
+	if err != nil {
+		return err
+	}
+
+	rep := Report{
+		Bench:         "admission-hot-path",
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Quick:         *quick,
+	}
+
+	// Matrix workload: a long uniform element stream in the engine's
+	// target shape — loads well above the link capacity so every decide
+	// trims, capacity in the small-b(u) regime.
+	m, n := 8192, 300_000
+	if *quick {
+		m, n = 1024, 20_000
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	inst, err := workload.Uniform(workload.UniformConfig{
+		M: m, N: n, Load: 12, MinLoad: 4, Capacity: 4,
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	rep.Decide, err = benchDecide(*quick, *reps, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "decide kernel: %.1f ns/element (sort path %.1f, speedup %.2fx, allocs %.3f)\n",
+		rep.Decide.KernelNsPerElement, rep.Decide.SortNsPerElement, rep.Decide.Speedup, rep.Decide.AllocsPerElement)
+
+	rep.Serial = benchSerial(inst, *reps, *seed)
+	fmt.Fprintf(w, "serial runner: %.1f ns/element over %d elements\n", rep.Serial.NsPerElement, rep.Serial.Elements)
+
+	for _, sc := range shardCounts {
+		sb, err := benchEngine(inst, sc, *reps, *seed)
+		if err != nil {
+			return err
+		}
+		rep.Engine = append(rep.Engine, sb)
+		fmt.Fprintf(w, "engine shards=%d: %.1f ns/element, %.0f elements/s, allocs/element %.3f\n",
+			sb.Shards, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		fmt.Fprintf(w, "%s\n", buf)
+	} else {
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *out)
+	}
+
+	if *failOnAlloc {
+		if rep.Decide.AllocsPerElement > 0 {
+			return fmt.Errorf("decide kernel allocates %.3f/element, want 0", rep.Decide.AllocsPerElement)
+		}
+		for _, sb := range rep.Engine {
+			if sb.AllocsPerElement > 0 {
+				return fmt.Errorf("engine shards=%d allocates %.3f/element in steady state, want 0", sb.Shards, sb.AllocsPerElement)
+			}
+		}
+	}
+	return nil
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// benchDecide times the pure selection kernel on a sample of capacity<=8
+// elements with loads exceeding capacity (so selection always trims), and
+// the sort-based reference on the identical sample.
+func benchDecide(quick bool, reps int, seed int64) (DecideBench, error) {
+	const m = 4096
+	n := 200_000
+	if quick {
+		n = 20_000
+	}
+	rng := rand.New(rand.NewSource(seed + 100))
+	inst, err := workload.Uniform(workload.UniformConfig{
+		M: m, N: n, Load: 16, MinLoad: 6, Capacity: 4,
+	}, rng)
+	if err != nil {
+		return DecideBench{}, err
+	}
+	prio := core.HashPriorities(core.InfoOf(inst), hashpr.Mixer{Seed: uint64(seed)}, nil)
+	elems := inst.Elements
+	var totalLoad int
+	for _, el := range elems {
+		totalLoad += len(el.Members)
+	}
+
+	buf := make([]setsystem.SetID, 0, 64)
+	kernelNs := timeBest(reps, func() {
+		for _, el := range elems {
+			buf = core.SelectTopPriority(el.Members, el.Capacity, prio, buf)
+		}
+	})
+	sortNs := timeBest(reps, func() {
+		for _, el := range elems {
+			buf = core.SelectTopPrioritySort(el.Members, el.Capacity, prio, buf)
+		}
+	})
+
+	allocs := allocsDuring(3, func() {
+		for _, el := range elems {
+			buf = core.SelectTopPriority(el.Members, el.Capacity, prio, buf)
+		}
+	})
+
+	return DecideBench{
+		Elements:           len(elems),
+		MeanLoad:           float64(totalLoad) / float64(len(elems)),
+		CapacityMax:        4,
+		KernelNsPerElement: float64(kernelNs) / float64(len(elems)),
+		SortNsPerElement:   float64(sortNs) / float64(len(elems)),
+		Speedup:            float64(sortNs) / float64(kernelNs),
+		AllocsPerElement:   float64(allocs) / float64(len(elems)),
+	}, nil
+}
+
+// benchSerial times core.Run with HashRandPr — the single-threaded
+// reference the engine matrix is compared against.
+func benchSerial(inst *setsystem.Instance, reps int, seed int64) SerialBench {
+	ns := timeBest(reps, func() {
+		alg := &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(seed)}}
+		if _, err := core.Run(inst, alg, nil); err != nil {
+			panic(err)
+		}
+	})
+	return SerialBench{
+		Elements:     inst.NumElements(),
+		NsPerElement: float64(ns) / float64(inst.NumElements()),
+	}
+}
+
+// benchEngine times a full engine replay at the given shard count and
+// measures steady-state ingestion allocations on a persistent engine.
+func benchEngine(inst *setsystem.Instance, shards, reps int, seed int64) (ShardBench, error) {
+	cfg := engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}
+	var replayErr error
+	ns := timeBest(reps, func() {
+		if replayErr != nil {
+			return
+		}
+		if _, err := engine.Replay(inst, hashpr.Mixer{Seed: uint64(seed)}, cfg); err != nil {
+			replayErr = err
+		}
+	})
+	if replayErr != nil {
+		return ShardBench{}, replayErr
+	}
+
+	// Steady-state allocation probe: warm a persistent engine past its
+	// high-water mark, then count mallocs over a second full pass.
+	e, err := engine.New(core.InfoOf(inst), hashpr.Mixer{Seed: uint64(seed)}, cfg)
+	if err != nil {
+		return ShardBench{}, err
+	}
+	submitAll := func() {
+		for _, el := range inst.Elements {
+			if err := e.Submit(el); err != nil {
+				panic(err)
+			}
+		}
+	}
+	submitAll() // warm-up pass grows every buffer
+	allocs := allocsDuring(5, submitAll)
+	if _, err := e.Drain(); err != nil {
+		return ShardBench{}, err
+	}
+
+	n := inst.NumElements()
+	return ShardBench{
+		Shards:           shards,
+		Elements:         n,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
+}
+
+// timeBest runs f reps times and returns the fastest wall time in
+// nanoseconds — best-of filtering strips scheduler noise.
+func timeBest(reps int, f func()) int64 {
+	if reps < 1 {
+		reps = 1
+	}
+	best := int64(-1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start).Nanoseconds(); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// allocsDuring returns the minimum number of heap allocations (across all
+// goroutines) observed over passes runs of f. The minimum is the sound
+// regression detector: stray runtime-internal allocations (GC work
+// buffers, parked-goroutine bookkeeping) land in some passes but not all,
+// while a genuine per-element allocation shows in every pass.
+func allocsDuring(passes int, f func()) uint64 {
+	var min uint64
+	for p := 0; p < passes; p++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		f()
+		runtime.ReadMemStats(&after)
+		if d := after.Mallocs - before.Mallocs; p == 0 || d < min {
+			min = d
+		}
+		if min == 0 {
+			break
+		}
+	}
+	return min
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickMatrix runs the CI smoke configuration end to end: the quick
+// matrix must produce a parseable report with zero steady-state
+// allocations per element in every cell.
+func TestQuickMatrix(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{"-quick", "-shards", "1,2", "-reps", "1", "-failonalloc", "-out", out}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "admission-hot-path" || !rep.Quick {
+		t.Errorf("unexpected header: %+v", rep)
+	}
+	if len(rep.Engine) != 2 || rep.Engine[0].Shards != 1 || rep.Engine[1].Shards != 2 {
+		t.Errorf("engine matrix = %+v, want shards 1,2", rep.Engine)
+	}
+	if rep.Decide.KernelNsPerElement <= 0 || rep.Serial.NsPerElement <= 0 {
+		t.Errorf("timings not populated: %+v", rep)
+	}
+	for _, sb := range rep.Engine {
+		if sb.ElementsPerSec <= 0 {
+			t.Errorf("shards=%d: no throughput recorded", sb.Shards)
+		}
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("1, 2,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("parseShards = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "1,,2"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStdoutOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-shards", "1", "-reps", "1", "-out", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "decide kernel") {
+		t.Errorf("missing report lines:\n%s", buf.String())
+	}
+	// -out - must emit the JSON report itself, not just the summary.
+	start := strings.Index(buf.String(), "{")
+	if start < 0 {
+		t.Fatalf("no JSON in output:\n%s", buf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()[start:]), &rep); err != nil {
+		t.Errorf("stdout JSON does not parse: %v", err)
+	}
+}

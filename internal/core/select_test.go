@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/setsystem"
+)
+
+// randMembers draws a sorted, duplicate-free member list over m sets.
+func randMembers(rng *rand.Rand, m, n int) []setsystem.SetID {
+	seen := make(map[setsystem.SetID]bool, n)
+	out := make([]setsystem.SetID, 0, n)
+	for len(out) < n {
+		s := setsystem.SetID(rng.Intn(m))
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// runOracle applies the retained sort-based selection to a fresh copy of
+// members.
+func runOracle(members []setsystem.SetID, capacity int, prio []float64) []setsystem.SetID {
+	cands := append([]setsystem.SetID(nil), members...)
+	return sortTopByPriority(cands, capacity, prio)
+}
+
+// runKernel applies the new partial-selection kernel to a fresh copy.
+func runKernel(members []setsystem.SetID, capacity int, prio []float64) []setsystem.SetID {
+	cands := append([]setsystem.SetID(nil), members...)
+	return topByPriority(cands, capacity, prio)
+}
+
+func checkAgainstOracle(t *testing.T, members []setsystem.SetID, capacity int, prio []float64) {
+	t.Helper()
+	want := runOracle(members, capacity, prio)
+	got := runKernel(members, capacity, prio)
+	if len(want) == 0 && len(got) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kernel diverges from oracle\nmembers  %v\ncapacity %d\nprio     %v\ngot      %v\nwant     %v",
+			members, capacity, prio, got, want)
+	}
+}
+
+// TestSelectMatchesOracle is the seeded table run of the kernel-vs-oracle
+// property: random members, capacities and priorities — including
+// duplicate priorities (forced ties) and capacity >= len(members) — must
+// select identically under the insertion kernel, the quickselect kernel
+// and the retained sort oracle.
+func TestSelectMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 5000; trial++ {
+		m := 1 + rng.Intn(60)
+		n := 1 + rng.Intn(m)
+		members := randMembers(rng, m, n)
+		// Capacity sweeps all regimes: 0, tiny (insertion kernel), large
+		// (quickselect kernel), and >= len(members) (pass-through).
+		capacity := rng.Intn(n + 3)
+		if trial%7 == 0 {
+			capacity = insertionCap + 1 + rng.Intn(8) // force quickselect
+		}
+		prio := make([]float64, m)
+		// A small value alphabet forces many exact duplicate priorities,
+		// exercising the SetID tie-break everywhere.
+		levels := 1 + rng.Intn(4)
+		for i := range prio {
+			prio[i] = float64(rng.Intn(levels))
+		}
+		checkAgainstOracle(t, members, capacity, prio)
+	}
+}
+
+// TestSelectEdgeCases pins the boundary behaviors the property test can
+// only hit probabilistically.
+func TestSelectEdgeCases(t *testing.T) {
+	prio := []float64{0.5, 0.5, 0.9, 0.1, 0.5}
+	cases := []struct {
+		name     string
+		members  []setsystem.SetID
+		capacity int
+		want     []setsystem.SetID
+	}{
+		{"capacity zero", []setsystem.SetID{0, 1, 2}, 0, []setsystem.SetID{}},
+		{"capacity equals len", []setsystem.SetID{0, 1, 2}, 3, []setsystem.SetID{0, 1, 2}},
+		{"capacity beyond len", []setsystem.SetID{0, 1}, 10, []setsystem.SetID{0, 1}},
+		{"all tied picks low ids", []setsystem.SetID{0, 1, 4}, 2, []setsystem.SetID{0, 1}},
+		{"best first", []setsystem.SetID{0, 2, 3}, 1, []setsystem.SetID{2}},
+		{"tie among subset", []setsystem.SetID{1, 3, 4}, 2, []setsystem.SetID{1, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runKernel(tc.members, tc.capacity, prio)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+			checkAgainstOracle(t, tc.members, tc.capacity, prio)
+		})
+	}
+}
+
+// TestSelectZeroAlloc asserts the kernel allocates nothing when given a
+// caller buffer, in both the insertion and quickselect regimes.
+func TestSelectZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const m = 256
+	prio := make([]float64, m)
+	for i := range prio {
+		prio[i] = rng.Float64()
+	}
+	members := randMembers(rng, m, 64)
+	buf := make([]setsystem.SetID, 0, len(members))
+	for _, capacity := range []int{1, 4, insertionCap, insertionCap + 4, 32} {
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = SelectTopPriority(members, capacity, prio, buf)
+		})
+		if allocs != 0 {
+			t.Errorf("capacity %d: %v allocs per select, want 0", capacity, allocs)
+		}
+	}
+}
+
+// FuzzSelectMatchesOracle drives the kernel-vs-oracle equivalence from
+// fuzzer-chosen bytes: each byte pair contributes a member id and a
+// priority level, the first bytes choose capacity and universe size.
+// Run with `go test -fuzz FuzzSelectMatchesOracle ./internal/core`.
+func FuzzSelectMatchesOracle(f *testing.F) {
+	f.Add([]byte{3, 8, 1, 0, 2, 1, 3, 2}, uint8(1))
+	f.Add([]byte{10, 16, 5, 0, 6, 0, 7, 0, 8, 0, 9, 0}, uint8(9)) // quickselect + ties
+	f.Add([]byte{1, 1, 0, 0}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, capByte uint8) {
+		if len(data) < 4 {
+			return
+		}
+		m := 1 + int(data[0])%64
+		prio := make([]float64, m)
+		for i := range prio {
+			// Derived, duplicate-heavy priorities.
+			prio[i] = float64((i*7 + int(data[1])) % 5)
+		}
+		seen := make(map[setsystem.SetID]bool)
+		var members []setsystem.SetID
+		for i := 2; i+1 < len(data); i += 2 {
+			s := setsystem.SetID(int(data[i]) % m)
+			if !seen[s] {
+				seen[s] = true
+				members = append(members, s)
+			}
+			// Odd bytes perturb priorities so ties appear and disappear.
+			prio[int(data[i+1])%m] += 0.5
+		}
+		if len(members) == 0 {
+			return
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		capacity := int(capByte) % (len(members) + 2)
+		checkAgainstOracle(t, members, capacity, prio)
+	})
+}

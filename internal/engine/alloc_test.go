@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// TestSteadyStateZeroAlloc asserts the headline perf property: once the
+// flat batch population and member buffers have grown to the workload's
+// high-water mark, Submit + shard decide allocate nothing — 0
+// allocs/element, measured across full batches including the flush and
+// the shard-side selection.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 100, N: 4000, Load: 6, Capacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchSize = 64
+	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 5}, Config{Shards: 2, BatchSize: batchSize, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Drain()
+
+	// Warm up: cycle every pre-filled batch through the shards so member
+	// buffers reach their high-water capacity.
+	warm := inst.Elements[:2048]
+	for _, el := range warm {
+		if err := e.Submit(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rest := inst.Elements[2048:]
+	pos := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < batchSize; i++ {
+			if err := e.Submit(rest[pos%len(rest)]); err != nil {
+				t.Fatal(err)
+			}
+			pos++
+		}
+	})
+	perElement := allocs / batchSize
+	if perElement != 0 {
+		t.Errorf("steady-state ingestion: %v allocs/element (%v per batch), want 0", perElement, allocs)
+	}
+}
+
+// TestSubmitDoesNotRetainMembers proves the flat-copy contract: a caller
+// may reuse one scratch member buffer for every Submit — overwriting it
+// immediately after each call — and the engine still reproduces the
+// serial result exactly. Run under -race this also demonstrates that no
+// shard ever reads the caller's buffer.
+func TestSubmitDoesNotRetainMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 60, N: 3000, Load: 5, Capacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial(t, inst, 31)
+
+	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 31}, Config{Shards: 4, BatchSize: 16, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]setsystem.SetID, 0, 64)
+	for _, el := range inst.Elements {
+		scratch = append(scratch[:0], el.Members...)
+		if err := e.Submit(setsystem.Element{Members: scratch, Capacity: el.Capacity}); err != nil {
+			t.Fatal(err)
+		}
+		// Clobber the buffer the engine just saw: if Submit retained it,
+		// some shard would decide on garbage (and -race would flag the
+		// concurrent write).
+		for i := range scratch {
+			scratch[i] = -1
+		}
+	}
+	got, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, got, want, "scratch-buffer reuse")
+}
+
+// TestReplayJoinsSubmitAndDrainErrors pins the Replay error path: a
+// mid-stream validation failure still drains the engine and surfaces the
+// submit error.
+func TestReplayJoinsSubmitAndDrainErrors(t *testing.T) {
+	inst := &setsystem.Instance{
+		Weights: []float64{1, 1},
+		Sizes:   []int{1, 1},
+		Elements: []setsystem.Element{
+			{Members: []setsystem.SetID{0}, Capacity: 1},
+			{Members: []setsystem.SetID{5}, Capacity: 1}, // out of range
+		},
+	}
+	_, err := Replay(inst, hashpr.Mixer{Seed: 1}, Config{Shards: 1})
+	if err == nil {
+		t.Fatal("Replay accepted an out-of-range member")
+	}
+}

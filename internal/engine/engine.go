@@ -10,11 +10,15 @@
 //
 //   - New computes the priority vector once (core.HashPriorities, the same
 //     code path HashRandPr uses) and hands every shard a read-only view.
-//   - Submit batches arriving elements and hands full batches to shard
-//     workers round-robin over bounded channels; a full queue blocks the
-//     submitter, giving natural backpressure.
-//   - Each shard decides its elements with core.SelectTopPriority and
-//     accumulates per-set assignment counts in shard-local arrays.
+//   - Submit copies arriving elements into a flat structure-of-arrays
+//     batch — one shared member buffer plus per-element offset/capacity
+//     arrays — and hands full batches to shard workers round-robin over
+//     bounded channels; a full queue blocks the submitter, giving natural
+//     backpressure. Batches are recycled through a free list, so
+//     steady-state ingestion allocates nothing.
+//   - Each shard decides its elements with core.SelectTopPriorityInPlace
+//     directly on the batch buffer and accumulates per-set assignment
+//     counts in shard-local arrays.
 //   - Drain flushes, stops the workers and merges the shard counters into
 //     a Result that is bit-for-bit identical to a serial core.Run with
 //     HashRandPr under the same seed: integer assignment counts commute
@@ -22,6 +26,9 @@
 //     order exactly as the serial runner does.
 //
 // Live progress is observable through Metrics while the stream is open.
+// All metric publication is amortized to one atomic update per batch:
+// the submit side publishes submitted counts at flush, the shard side
+// publishes processed/assigned/dropped after deciding the batch.
 package engine
 
 import (
@@ -69,6 +76,38 @@ var (
 	ErrNilHasher = errors.New("engine: nil hasher")
 )
 
+// batch is one ingestion unit in flat structure-of-arrays layout: the
+// member lists of all batched elements concatenated into one buffer, plus
+// parallel per-element offset and capacity arrays. Element i's parents are
+// members[offs[i]:offs[i+1]] and its b(u) is caps[i]. The layout keeps the
+// shard's decide loop walking contiguous memory, and ingestion does one
+// bulk copy per element instead of retaining the caller's slice.
+type batch struct {
+	members []setsystem.SetID
+	offs    []int32 // len = n+1; offs[0] == 0
+	caps    []int32 // len = n
+}
+
+// add bulk-copies one element into the batch.
+func (b *batch) add(el setsystem.Element) {
+	if len(b.offs) == 0 {
+		b.offs = append(b.offs, 0)
+	}
+	b.members = append(b.members, el.Members...)
+	b.offs = append(b.offs, int32(len(b.members)))
+	b.caps = append(b.caps, int32(el.Capacity))
+}
+
+// len returns the number of batched elements.
+func (b *batch) len() int { return len(b.caps) }
+
+// reset empties the batch, keeping its storage.
+func (b *batch) reset() {
+	b.members = b.members[:0]
+	b.offs = b.offs[:0]
+	b.caps = b.caps[:0]
+}
+
 // Engine streams elements through sharded randPr admission. Submit and
 // Drain must be called from a single goroutine (the arrival stream is a
 // sequence, as in the OSP protocol); the shard workers run concurrently
@@ -79,18 +118,17 @@ type Engine struct {
 	prio    []float64 // read-only after New; shared by all shards
 	shards  []*shard
 	wg      sync.WaitGroup
-	batch   *[]setsystem.Element
-	next    int       // round-robin shard cursor
-	pool    sync.Pool // *[]setsystem.Element, pointer-typed to avoid boxing
+	batch   *batch
+	next    int         // round-robin shard cursor
+	free    chan *batch // recycled batches; pre-filled so steady state never allocates
 	metrics Metrics
 	result  *core.Result
 }
 
 // shard is one worker: a bounded inbox and shard-local bookkeeping.
 type shard struct {
-	in       chan *[]setsystem.Element
+	in       chan *batch
 	assigned []int32
-	buf      []setsystem.SetID
 }
 
 // New builds an engine over the given up-front information (weights and
@@ -102,22 +140,26 @@ func New(info core.Info, hasher hashpr.UniformHasher, cfg Config) (*Engine, erro
 		return nil, ErrNilHasher
 	}
 	cfg = cfg.withDefaults()
-	first := make([]setsystem.Element, 0, cfg.BatchSize)
 	e := &Engine{
 		cfg:    cfg,
 		info:   info,
 		prio:   core.HashPriorities(info, hasher, nil),
 		shards: make([]*shard, cfg.Shards),
-		batch:  &first,
+		batch:  new(batch),
 	}
-	e.pool.New = func() any {
-		b := make([]setsystem.Element, 0, cfg.BatchSize)
-		return &b
+	// Pre-fill the free list with every batch that can be in flight at
+	// once: one per queue slot, one being processed per shard, one in the
+	// submitter's hand, plus slack. Ingestion then recycles this fixed
+	// population and never allocates a batch again.
+	maxInFlight := cfg.Shards*(cfg.QueueDepth+1) + 2
+	e.free = make(chan *batch, maxInFlight)
+	for i := 0; i < maxInFlight-1; i++ {
+		e.free <- new(batch)
 	}
 	e.metrics.start()
 	for i := range e.shards {
 		s := &shard{
-			in:       make(chan *[]setsystem.Element, cfg.QueueDepth),
+			in:       make(chan *batch, cfg.QueueDepth),
 			assigned: make([]int32, info.NumSets()),
 		}
 		e.shards[i] = s
@@ -132,29 +174,52 @@ func New(info core.Info, hasher hashpr.UniformHasher, cfg Config) (*Engine, erro
 // no shared writes — only the amortized per-batch metrics publication.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
-	for bp := range s.in {
-		batch := *bp
+	for b := range s.in {
+		n := b.len()
 		var assigned, dropped uint64
-		for _, el := range batch {
-			choice := core.SelectTopPriority(el.Members, el.Capacity, e.prio, s.buf)
-			s.buf = choice
+		for i := 0; i < n; i++ {
+			members := b.members[b.offs[i]:b.offs[i+1]]
+			// The batch buffer is engine-owned scratch, so the kernel may
+			// reorder it in place — no per-element copy on the hot path.
+			choice := core.SelectTopPriorityInPlace(members, int(b.caps[i]), e.prio)
 			for _, id := range choice {
 				s.assigned[id]++
 			}
 			assigned += uint64(len(choice))
-			dropped += uint64(len(el.Members) - len(choice))
+			dropped += uint64(len(members) - len(choice))
 		}
-		e.metrics.observeBatch(uint64(len(batch)), assigned, dropped)
-		*bp = batch[:0]
-		e.pool.Put(bp)
+		e.metrics.observeBatch(uint64(n), assigned, dropped)
+		b.reset()
+		e.putBatch(b)
+	}
+}
+
+// getBatch pulls a recycled batch, falling back to allocation only if the
+// pre-filled population is somehow exhausted.
+func (e *Engine) getBatch() *batch {
+	select {
+	case b := <-e.free:
+		return b
+	default:
+		return new(batch)
+	}
+}
+
+// putBatch returns a processed batch to the free list (dropping it if the
+// list is full, which only happens for fallback-allocated batches).
+func (e *Engine) putBatch(b *batch) {
+	select {
+	case e.free <- b:
+	default:
 	}
 }
 
 // Submit offers one arriving element to the stream. It validates the
-// element, buffers it into the current batch and, when the batch is full,
-// hands it to the next shard — blocking if that shard's queue is full
-// (backpressure). The element's Members slice is retained until the batch
-// is processed; callers that reuse member buffers must copy first.
+// element, bulk-copies it into the current flat batch and, when the batch
+// is full, hands it to the next shard — blocking if that shard's queue is
+// full (backpressure). The element's Members slice is copied immediately
+// and never retained, so callers are free to reuse member buffers between
+// calls.
 func (e *Engine) Submit(el setsystem.Element) error {
 	if e.result != nil {
 		return ErrDrained
@@ -162,22 +227,25 @@ func (e *Engine) Submit(el setsystem.Element) error {
 	if err := setsystem.CheckElement(el, e.info.NumSets()); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
-	*e.batch = append(*e.batch, el)
-	e.metrics.submitted.Add(1)
-	if len(*e.batch) >= e.cfg.BatchSize {
+	e.batch.add(el)
+	if e.batch.len() >= e.cfg.BatchSize {
 		e.flush()
 	}
 	return nil
 }
 
-// flush hands the current batch to the next shard round-robin.
+// flush hands the current batch to the next shard round-robin, publishing
+// the batch's element count to the submitted counter — one atomic update
+// per batch, not per element.
 func (e *Engine) flush() {
-	if len(*e.batch) == 0 {
+	n := e.batch.len()
+	if n == 0 {
 		return
 	}
+	e.metrics.submitted.Add(uint64(n))
 	e.shards[e.next].in <- e.batch
 	e.next = (e.next + 1) % len(e.shards)
-	e.batch = e.pool.Get().(*[]setsystem.Element)
+	e.batch = e.getBatch()
 }
 
 // Drain closes the stream: it flushes the partial batch, stops all shard
@@ -224,7 +292,10 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 
 // Replay streams a whole instance through a fresh engine and returns the
 // final result — the concurrent counterpart of core.Run(inst,
-// HashRandPr{hasher}, nil).
+// HashRandPr{hasher}, nil). Elements are copied at Submit, so the instance
+// is never aliased by the engine. If a Submit fails mid-stream, the engine
+// is still drained to stop the shard workers and the submit and drain
+// errors are joined.
 func Replay(inst *setsystem.Instance, hasher hashpr.UniformHasher, cfg Config) (*core.Result, error) {
 	e, err := New(core.InfoOf(inst), hasher, cfg)
 	if err != nil {
@@ -232,8 +303,8 @@ func Replay(inst *setsystem.Instance, hasher hashpr.UniformHasher, cfg Config) (
 	}
 	for _, el := range inst.Elements {
 		if err := e.Submit(el); err != nil {
-			e.Drain() // stop the shard workers before bailing out
-			return nil, err
+			_, derr := e.Drain() // stop the shard workers before bailing out
+			return nil, errors.Join(err, derr)
 		}
 	}
 	return e.Drain()

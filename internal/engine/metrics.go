@@ -10,13 +10,15 @@ import (
 )
 
 // Metrics is the engine's live instrumentation: lock-free counters updated
-// once per batch on the shard side and once per element on the submit
-// side. Read a consistent-enough view with Snapshot at any time during or
-// after the stream.
+// once per batch on both sides of the channel — the submit side publishes
+// submitted counts when a batch is flushed to a shard, the shard side
+// publishes processed/assigned/dropped after deciding a batch. No counter
+// is touched per element. Read a consistent-enough view with Snapshot at
+// any time during or after the stream.
 type Metrics struct {
 	startedAt time.Time
 
-	submitted atomic.Uint64 // elements accepted by Submit
+	submitted atomic.Uint64 // elements flushed to shards (published per batch)
 	processed atomic.Uint64 // elements decided by shard workers
 	batches   atomic.Uint64 // batches handed to shards
 	assigned  atomic.Uint64 // element→set assignments made
@@ -46,9 +48,10 @@ func (m *Metrics) finish(res *core.Result) {
 
 // Snapshot is a point-in-time copy of the counters with derived rates.
 type Snapshot struct {
-	// Submitted counts elements accepted by Submit; Processed counts
-	// elements already decided by a shard. Submitted−Processed is the
-	// in-flight backlog (batching plus queued batches).
+	// Submitted counts elements flushed to shards (published once per
+	// batch, so elements still buffering in a partial batch are not yet
+	// visible); Processed counts elements already decided by a shard.
+	// Submitted−Processed is the queued-batch backlog.
 	Submitted, Processed uint64
 	// Batches is the number of batches handed to shards.
 	Batches uint64

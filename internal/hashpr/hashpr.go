@@ -19,6 +19,7 @@ package hashpr
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -46,9 +47,12 @@ func (m Mixer) Uniform(x uint64) float64 {
 // PolyFamily.
 const mersenne61 = (1 << 61) - 1
 
-// mulmod61 multiplies a·b modulo 2^61−1 using 128-bit intermediate math.
+// mulmod61 multiplies a·b modulo 2^61−1. bits.Mul64 is a compiler
+// intrinsic (a single MULX/UMULH pair on amd64/arm64), so the full 128-bit
+// product costs one multiply instead of the four 32×32 limb products a
+// portable schoolbook split needs.
 func mulmod61(a, b uint64) uint64 {
-	hi, lo := mul128(a, b)
+	hi, lo := bits.Mul64(a, b)
 	// Split the 128-bit product into 61-bit limbs and fold: since
 	// 2^61 ≡ 1 (mod p), the product ≡ low61 + middle + high (mod p).
 	l := lo & mersenne61
@@ -58,20 +62,6 @@ func mulmod61(a, b uint64) uint64 {
 		s -= mersenne61
 	}
 	return s
-}
-
-// mul128 returns the 128-bit product of a and b as (hi, lo).
-func mul128(a, b uint64) (hi, lo uint64) {
-	const mask = 1<<32 - 1
-	a0, a1 := a&mask, a>>32
-	b0, b1 := b&mask, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t & mask
-	w2 := t >> 32
-	w1 += a0 * b1
-	hi = a1*b1 + w2 + (w1 >> 32)
-	lo = a * b
-	return hi, lo
 }
 
 // ErrBadDegree is returned when a PolyFamily is requested with fewer than 2
@@ -130,6 +120,28 @@ func (p *PolyFamily) Uniform(x uint64) float64 {
 // Any implementation can drive the distributed randPr.
 type UniformHasher interface {
 	Uniform(x uint64) float64
+}
+
+// FillUniform sets out[i] = h.Uniform(uint64(i)) for every i — the bulk
+// fill path used when a whole priority vector is derived at once. The
+// concrete-type branches devirtualize the per-index hash call so the
+// known hashers inline into a tight loop instead of paying an interface
+// dispatch per set.
+func FillUniform(h UniformHasher, out []float64) {
+	switch h := h.(type) {
+	case Mixer:
+		for i := range out {
+			out[i] = h.Uniform(uint64(i))
+		}
+	case *PolyFamily:
+		for i := range out {
+			out[i] = h.Uniform(uint64(i))
+		}
+	default:
+		for i := range out {
+			out[i] = h.Uniform(uint64(i))
+		}
+	}
 }
 
 var (
