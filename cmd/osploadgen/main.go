@@ -1,0 +1,182 @@
+// Command osploadgen is the load generator for the networked admission
+// service (ospserve -listen): it sustains a target element rate against
+// a live server over the HTTP client, then drains and cross-checks the
+// result bit-for-bit against a serial hashRandPr run of the same
+// workload under the same seed — the remote producers of the paper's
+// bottleneck-router story, with the admission guarantee verified end to
+// end through the network.
+//
+// Usage:
+//
+//	osploadgen -addr http://localhost:8080 -n 200000 -rate 100000
+//	osploadgen -n 500000                 # no -addr: embeds a server in-process
+//	osploadgen -n 200000 -rate 0        # full speed, report the sustained rate
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/osp"
+	"repro/osp/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "osploadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("osploadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "admission server base URL; empty embeds a server in-process")
+		m        = fs.Int("m", 200, "uniform workload: number of sets")
+		n        = fs.Int("n", 200000, "uniform workload: number of elements")
+		load     = fs.Int("load", 8, "uniform workload: element load σ(u)")
+		capacity = fs.Int("cap", 2, "uniform workload: element capacity b(u)")
+		seed     = fs.Int64("seed", 1, "workload seed and shared priority seed")
+		rate     = fs.Float64("rate", 0, "target arrival rate in elements/sec (0 = full speed)")
+		batch    = fs.Int("batch", 1000, "elements per ingest request")
+		shards   = fs.Int("shards", 0, "server-side engine shards (0 = server default)")
+		label    = fs.String("label", "loadgen", "metrics label for the registered instance")
+		verify   = fs.Bool("verify", true, "cross-check the drained result against the serial hashRandPr oracle")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch must be >= 1, got %d", *batch)
+	}
+
+	inst, err := osp.RandomInstance(osp.UniformConfig{M: *m, N: *n, Load: *load, Capacity: *capacity},
+		rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload: %v\n", inst)
+
+	base := *addr
+	embedded := ""
+	if base == "" {
+		stopEmbedded, bound, err := startEmbedded()
+		if err != nil {
+			return err
+		}
+		defer stopEmbedded()
+		base = "http://" + bound
+		embedded = " (embedded)"
+	}
+
+	ctx := context.Background()
+	c, err := client.New(base)
+	if err != nil {
+		return err
+	}
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("server not healthy: %w", err)
+	}
+	h, err := c.Register(ctx, client.Spec{
+		Info:   osp.InfoOf(inst),
+		Seed:   uint64(*seed),
+		Engine: osp.EngineConfig{Shards: *shards},
+		Label:  *label,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "target:   %s%s, instance %s, %d shards, rate target %s\n",
+		base, embedded, h.ID(), h.Shards(), rateString(*rate))
+
+	var admitted, dropped uint64
+	start := time.Now()
+	batches := 0
+	for off := 0; off < len(inst.Elements); off += *batch {
+		if *rate > 0 {
+			target := start.Add(time.Duration(float64(off) / *rate * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		end := min(off+*batch, len(inst.Elements))
+		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
+		if err != nil {
+			return fmt.Errorf("ingest batch at %d: %w", off, err)
+		}
+		for _, v := range verdicts {
+			admitted += uint64(len(v.Admitted))
+			dropped += uint64(len(v.Dropped))
+		}
+		batches++
+	}
+	elapsed := time.Since(start)
+
+	res, err := h.Drain(ctx)
+	if err != nil {
+		return err
+	}
+	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
+	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d requests)\n",
+		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches)
+	fmt.Fprintf(w, "verdicts: %d admitted, %d dropped memberships\n", admitted, dropped)
+	fmt.Fprintf(w, "goodput:  %d sets completed, weight %.1f of %.1f offered\n",
+		len(res.Completed), res.Benefit, inst.TotalWeight())
+
+	// The verdict stream and the drained result must agree in aggregate:
+	// every admitted membership is an assignment in the final result.
+	var assigned uint64
+	for _, cnt := range res.Assigned {
+		assigned += uint64(cnt)
+	}
+	if assigned != admitted {
+		return fmt.Errorf("verdicts admitted %d memberships but drained result assigns %d", admitted, assigned)
+	}
+
+	if *verify {
+		serial, err := osp.Run(inst, osp.NewHashRandPr(uint64(*seed)), nil)
+		if err != nil {
+			return err
+		}
+		if !res.Equal(serial) {
+			return fmt.Errorf("drained result differs from serial hashRandPr oracle (server %.3f, serial %.3f)",
+				res.Benefit, serial.Benefit)
+		}
+		fmt.Fprintf(w, "verify:   drained result bit-for-bit identical to serial hashRandPr oracle (seed %d)\n", *seed)
+	}
+	return nil
+}
+
+// startEmbedded runs a full admission service on a loopback listener in
+// this process — the zero-setup path for benchmarking and CI smoke runs.
+func startEmbedded() (stop func(), addr string, err error) {
+	srv := osp.NewServer(osp.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed via stop
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)  //nolint:errcheck
+		srv.Shutdown(ctx) //nolint:errcheck
+	}
+	return stop, ln.Addr().String(), nil
+}
+
+// rateString formats the pacing target.
+func rateString(rate float64) string {
+	if rate <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.0f elements/s", rate)
+}

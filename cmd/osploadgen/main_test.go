@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenEmbeddedVerified runs the generator end to end against the
+// embedded server and requires the bit-for-bit oracle check to pass.
+func TestLoadgenEmbeddedVerified(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-m", "40", "-n", "5000", "-load", "4", "-batch", "250", "-seed", "9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"workload: osp instance: m=40",
+		"(embedded), instance i-1",
+		"loadgen:  5000 elements",
+		"verdicts:",
+		"goodput:",
+		"verify:   drained result bit-for-bit identical",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestLoadgenRatePacing exercises the pacing branch with a small run.
+func TestLoadgenRatePacing(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-m", "10", "-n", "400", "-load", "2", "-batch", "100", "-rate", "20000"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rate target 20000 elements/s") {
+		t.Errorf("rate target not echoed:\n%s", buf.String())
+	}
+}
+
+// TestLoadgenNoVerify covers the -verify=false path.
+func TestLoadgenNoVerify(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-m", "10", "-n", "200", "-load", "2", "-batch", "50", "-verify=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "verify:") {
+		t.Errorf("verify line printed despite -verify=false:\n%s", buf.String())
+	}
+}
+
+// TestLoadgenErrors pins flag and connection failures.
+func TestLoadgenErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-batch", "0"}, &buf); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if err := run([]string{"-addr", "ftp://nope", "-n", "10"}, &buf); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	// A dead server fails the health probe, not the stream.
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-n", "10"}, &buf); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

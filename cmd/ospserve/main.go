@@ -1,25 +1,40 @@
-// Command ospserve replays a workload — generated or decoded from a trace
-// — through the sharded concurrent streaming engine at a configurable
-// arrival rate, and reports throughput and goodput. It is the line-rate
-// admission daemon of the paper's bottleneck-router story: elements
-// (time slots with packet bursts) stream in, each is admitted or dropped
-// immediately by coordination-free randPr priorities, and frames that keep
-// every packet pay out their weight.
+// Command ospserve is the admission daemon of the paper's
+// bottleneck-router story: elements (time slots with packet bursts)
+// stream in, each is admitted or dropped immediately by
+// coordination-free randPr priorities, and frames that keep every packet
+// pay out their weight.
+//
+// It has two modes. Replay mode (the default) pushes a generated
+// workload or a decoded trace through the sharded concurrent streaming
+// engine at a configurable arrival rate and reports throughput and
+// goodput. Service mode (-listen) mounts the networked admission
+// service instead: an HTTP API for remote producers (register a set
+// system, stream element batches for immediate verdicts, drain the
+// final result) with Prometheus metrics at /metrics and graceful drain
+// of every live engine on SIGINT/SIGTERM. See docs/OPERATIONS.md for
+// the endpoint and metrics reference, and cmd/osploadgen for a traffic
+// source.
 //
 // Usage:
 //
 //	ospserve -workload video -streams 64 -frames 32 -shards 4
 //	ospserve -workload multihop -hops 8 -packets 500 -rate 50000
 //	ospserve -trace trace.osp -verify
+//	ospserve -listen :8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
-	"reflect"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +42,7 @@ import (
 	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
+	"repro/osp"
 )
 
 func main() {
@@ -39,6 +55,10 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospserve", flag.ContinueOnError)
 	var (
+		listen  = fs.String("listen", "", "service mode: serve the HTTP admission API on this address (e.g. :8080)")
+		maxInst = fs.Int("max-instances", 0, "service mode: engine pool limit (0 = default 1024)")
+		maxBat  = fs.Int("max-batch", 0, "service mode: per-request ingest batch cap (0 = default 65536)")
+		maxBody = fs.Int64("max-body", 0, "service mode: request body byte cap (0 = default 256 MiB)")
 		kind    = fs.String("workload", "video", `"video", "bursty", "multihop" or "uniform"`)
 		trace   = fs.String("trace", "", "replay a trace file instead of generating a workload")
 		streams = fs.Int("streams", 64, "video/bursty: concurrent streams")
@@ -61,6 +81,15 @@ func run(args []string, w io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listen != "" {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(stop)
+		return runService(*listen, osp.ServerConfig{
+			MaxInstances: *maxInst, MaxBatch: *maxBat, MaxBodyBytes: *maxBody,
+		}, w, stop, nil)
 	}
 
 	inst, desc, err := buildWorkload(*trace, *kind, workloadParams{
@@ -109,12 +138,51 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if !reflect.DeepEqual(res, serial) {
+		if !res.Equal(serial) {
 			return fmt.Errorf("engine result differs from serial hashRandPr (engine %.3f, serial %.3f)",
 				res.Benefit, serial.Benefit)
 		}
 		fmt.Fprintf(w, "verify: engine output identical to serial hashRandPr (seed %d)\n", *seed)
 	}
+	return nil
+}
+
+// runService mounts the networked admission service and blocks until a
+// stop signal arrives, then shuts down gracefully: the HTTP server stops
+// accepting, and every live engine is drained so in-flight elements are
+// decided, not lost. ready (may be nil) receives the bound address once
+// the listener is up — tests use it to connect to a ":0" listener.
+func runService(listen string, cfg osp.ServerConfig, w io.Writer, stop <-chan os.Signal, ready chan<- string) error {
+	srv := osp.NewServer(cfg)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ospserve: admission service listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(w, "ospserve: POST /v1/instances to register, GET /metrics for Prometheus, SIGINT/SIGTERM to drain\n")
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+
+	fmt.Fprintf(w, "ospserve: shutting down, draining %d instances\n", srv.Pool().Len())
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	httpErr := hs.Shutdown(ctx)
+	drainErr := srv.Shutdown(ctx)
+	if err := errors.Join(httpErr, drainErr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ospserve: all engines drained, bye\n")
 	return nil
 }
 

@@ -2,13 +2,109 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/setsystem"
+	"repro/osp"
+	"repro/osp/client"
 )
+
+// syncWriter serializes writes so the test can read the buffer while the
+// service goroutine logs.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServiceMode boots -listen on a random port, drives one full
+// register/ingest/drain round trip through the HTTP client with an
+// oracle check, and then shuts the daemon down gracefully via the signal
+// channel.
+func TestServiceMode(t *testing.T) {
+	var out syncWriter
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runService("127.0.0.1:0", osp.ServerConfig{}, &out, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("service exited early: %v", err)
+	}
+
+	ctx := context.Background()
+	c, err := client.New("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b setsystem.Builder
+	a := b.AddSet(1)
+	cs := b.AddSet(2)
+	b.AddElement(a, cs)
+	b.AddElement(a)
+	b.AddElement(cs)
+	inst := b.MustBuild()
+
+	const seed = 11
+	h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Ingest(ctx, inst.Elements); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(serial) {
+		t.Errorf("service result differs from serial oracle")
+	}
+	if text, err := c.Metrics(ctx); err != nil || !strings.Contains(text, "osp_engine_processed_elements_total") {
+		t.Errorf("metrics fetch = %v, text missing engine counters", err)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("service did not shut down")
+	}
+	for _, frag := range []string{"admission service listening on http://", "all engines drained, bye"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("service log missing %q:\n%s", frag, out.String())
+		}
+	}
+}
 
 func TestServeVideoVerified(t *testing.T) {
 	var buf bytes.Buffer

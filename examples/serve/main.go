@@ -1,0 +1,102 @@
+// Serve: mount the networked admission service in-process, stream a
+// video workload through the HTTP client as a remote producer would, and
+// verify the drained result bit-for-bit against the serial distributed
+// randPr oracle. The same service is what `ospserve -listen` runs as a
+// standalone daemon; `osploadgen` is the load-generator version of this
+// program's client half.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/osp"
+	"repro/osp/client"
+)
+
+func main() {
+	// The admission service: HTTP API over a pool of concurrent engines.
+	srv := osp.NewServer(osp.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed at the end of main
+	defer srv.Shutdown(context.Background())
+	defer hs.Close()
+	fmt.Printf("admission service up on http://%s\n", ln.Addr())
+
+	// A bottleneck-router workload: 16 video streams of 8-packet frames
+	// squeezed through a link that forwards 1 packet per slot.
+	const seed = 7
+	vi, err := osp.VideoInstance(osp.VideoConfig{
+		Streams: 16, FramesPerStream: 8, LinkCapacity: 1, Jitter: 2,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := vi.Inst
+	fmt.Println(inst)
+
+	// The remote producer: register the set system, then race element
+	// batches against the admission deadline.
+	ctx := context.Background()
+	cl, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := cl.Register(ctx, client.Spec{
+		Info: osp.InfoOf(inst), Seed: seed, Label: "video-demo",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var admitted, dropped int
+	const batch = 64
+	for off := 0; off < len(inst.Elements); off += batch {
+		end := min(off+batch, len(inst.Elements))
+		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range verdicts {
+			admitted += len(v.Admitted)
+			dropped += len(v.Dropped)
+		}
+	}
+	fmt.Printf("verdicts: %d packets forwarded, %d dropped\n", admitted, dropped)
+
+	res, err := h.Drain(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("goodput: %d frames completed, weight %.1f of %.1f offered\n",
+		len(res.Completed), res.Benefit, inst.TotalWeight())
+
+	// The service's guarantee: the drained result equals a serial
+	// distributed-randPr run under the same seed, bit for bit.
+	serial, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identical to serial hashRandPr oracle: %v\n", res.Equal(serial))
+
+	// Operational state, as Prometheus would scrape it.
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "osp_engine_dropped_total") ||
+			strings.HasPrefix(line, "osp_engine_completed_weight") {
+			fmt.Println("metrics:", line)
+		}
+	}
+}

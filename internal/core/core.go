@@ -118,6 +118,36 @@ type Result struct {
 	Assigned []int32
 }
 
+// Equal reports whether two results are bit-for-bit identical: the same
+// completed sets in the same order, the same per-set assignment counts,
+// and a benefit equal down to the float64 bit pattern. It is the typed
+// comparison used wherever an engine or service run is verified against
+// the serial HashRandPr oracle (cmd/ospserve -verify, cmd/osploadgen).
+// Nil and empty Completed/Assigned slices compare equal, so a result that
+// round-tripped through JSON still matches its in-process original.
+func (r *Result) Equal(o *Result) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if math.Float64bits(r.Benefit) != math.Float64bits(o.Benefit) {
+		return false
+	}
+	if len(r.Completed) != len(o.Completed) || len(r.Assigned) != len(o.Assigned) {
+		return false
+	}
+	for i, s := range r.Completed {
+		if s != o.Completed[i] {
+			return false
+		}
+	}
+	for i, c := range r.Assigned {
+		if c != o.Assigned[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Completes reports whether the given set was completed.
 func (r *Result) Completes(id setsystem.SetID) bool {
 	for _, s := range r.Completed {

@@ -60,6 +60,50 @@ func TestRunCompletionAccounting(t *testing.T) {
 	}
 }
 
+func TestResultEqual(t *testing.T) {
+	base := func() *Result {
+		return &Result{
+			Completed: []setsystem.SetID{0, 2},
+			Benefit:   4,
+			Assigned:  []int32{2, 0, 1},
+		}
+	}
+	a := base()
+	if !a.Equal(base()) {
+		t.Error("identical results not Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("result not Equal to itself")
+	}
+	var nilRes *Result
+	if a.Equal(nil) || nilRes.Equal(a) {
+		t.Error("nil vs non-nil compared equal")
+	}
+	if !nilRes.Equal(nil) {
+		t.Error("nil results not Equal")
+	}
+	// Nil and empty slices are the same result (JSON round-trip).
+	empty1 := &Result{Assigned: []int32{}}
+	empty2 := &Result{}
+	if !empty1.Equal(empty2) {
+		t.Error("nil/empty slices not Equal")
+	}
+	for name, mut := range map[string]func(*Result){
+		"benefit":         func(r *Result) { r.Benefit = 5 },
+		"benefit sign":    func(r *Result) { r.Benefit = math.Copysign(r.Benefit, -1) },
+		"completed order": func(r *Result) { r.Completed[0], r.Completed[1] = r.Completed[1], r.Completed[0] },
+		"completed len":   func(r *Result) { r.Completed = r.Completed[:1] },
+		"assigned count":  func(r *Result) { r.Assigned[1] = 9 },
+		"assigned len":    func(r *Result) { r.Assigned = append(r.Assigned, 0) },
+	} {
+		m := base()
+		mut(m)
+		if a.Equal(m) {
+			t.Errorf("%s: mutated result still Equal", name)
+		}
+	}
+}
+
 func TestRunEmptyChoicesAllowed(t *testing.T) {
 	inst := triangle(t, 1, 1, 1)
 	alg := &scriptAlg{choices: [][]setsystem.SetID{nil, nil, nil}}

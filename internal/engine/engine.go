@@ -36,11 +36,45 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 )
+
+// State is an engine's lifecycle position. An engine is born StateIdle,
+// moves to StateStreaming on its first Submit and reaches StateDrained —
+// terminal — when Drain closes the stream. State transitions happen on the
+// submitter goroutine; State may be read concurrently from any goroutine
+// (the service layer polls it for pool listings and metrics labels).
+type State int32
+
+// Engine lifecycle states, in order.
+const (
+	// StateIdle: created, no element submitted yet.
+	StateIdle State = iota
+	// StateStreaming: at least one element submitted, not yet drained.
+	StateStreaming
+	// StateDrained: Drain has run; the Result is final and Submit fails
+	// with ErrDrained.
+	StateDrained
+)
+
+// String returns the lowercase state name used in API responses and
+// metrics labels.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateStreaming:
+		return "streaming"
+	case StateDrained:
+		return "drained"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
 
 // Config sizes the engine. The zero value is usable: one shard per CPU,
 // 64-element batches, 8 queued batches per shard.
@@ -53,6 +87,13 @@ type Config struct {
 	// Submit blocks (backpressure); 0 means 8.
 	QueueDepth int
 }
+
+// Resolved returns the config with zero fields resolved to the defaults
+// New would apply — what admission-control layers need to bound the
+// resources a configuration will actually allocate (shard count × set
+// count counter cells, shard count × queue depth pre-filled batches)
+// before building the engine.
+func (c Config) Resolved() Config { return c.withDefaults() }
 
 // withDefaults resolves zero fields to their defaults.
 func (c Config) withDefaults() Config {
@@ -122,6 +163,7 @@ type Engine struct {
 	next    int         // round-robin shard cursor
 	free    chan *batch // recycled batches; pre-filled so steady state never allocates
 	metrics Metrics
+	state   atomic.Int32 // State; written by the submitter, read by anyone
 	result  *core.Result
 }
 
@@ -221,17 +263,42 @@ func (e *Engine) putBatch(b *batch) {
 // and never retained, so callers are free to reuse member buffers between
 // calls.
 func (e *Engine) Submit(el setsystem.Element) error {
-	if e.result != nil {
+	st := State(e.state.Load())
+	if st == StateDrained {
 		return ErrDrained
 	}
 	if err := setsystem.CheckElement(el, e.info.NumSets()); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
+	e.ingest(el, st)
+	return nil
+}
+
+// SubmitValidated is Submit for callers that have already validated the
+// element with setsystem.CheckElement against this engine's universe —
+// batch-ingestion layers that validate a whole batch up front for
+// atomicity and must not pay the per-member scan twice. Submitting an
+// element that would fail CheckElement is undefined behavior (out-of-
+// range members corrupt shard counters or panic).
+func (e *Engine) SubmitValidated(el setsystem.Element) error {
+	st := State(e.state.Load())
+	if st == StateDrained {
+		return ErrDrained
+	}
+	e.ingest(el, st)
+	return nil
+}
+
+// ingest appends one validated element to the current batch, advancing
+// the lifecycle out of idle and flushing full batches.
+func (e *Engine) ingest(el setsystem.Element, st State) {
+	if st == StateIdle {
+		e.state.Store(int32(StateStreaming))
+	}
 	e.batch.add(el)
 	if e.batch.len() >= e.cfg.BatchSize {
 		e.flush()
 	}
-	return nil
 }
 
 // flush hands the current batch to the next shard round-robin, publishing
@@ -280,8 +347,21 @@ func (e *Engine) Drain() (*core.Result, error) {
 	}
 	e.result = res
 	e.metrics.finish(res)
+	e.state.Store(int32(StateDrained))
 	return res, nil
 }
+
+// State returns the engine's lifecycle position. Safe to call from any
+// goroutine at any time.
+func (e *Engine) State() State { return State(e.state.Load()) }
+
+// Priorities returns the engine's shared hash-derived priority vector.
+// The slice is read-only after New — callers must not modify it. Replicas
+// (HTTP handlers answering immediate admit/drop verdicts, remote mirrors
+// given the same seed) can decide any element with
+// core.SelectTopPriority over this vector and agree element-for-element
+// with the engine's shards, with zero coordination (Section 3.1).
+func (e *Engine) Priorities() []float64 { return e.prio }
 
 // Metrics returns the engine's live counters. Safe to read concurrently
 // with the stream.

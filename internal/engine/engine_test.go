@@ -159,6 +159,100 @@ func TestSubmitDrainLifecycle(t *testing.T) {
 	}
 }
 
+// TestLifecycleStates pins the idle → streaming → drained progression the
+// service layer's pool listings and metrics labels rely on: rejected
+// submits do not leave idle, the first accepted submit enters streaming,
+// and Drain is terminal.
+func TestLifecycleStates(t *testing.T) {
+	info := core.Info{Weights: []float64{2, 3}, Sizes: []int{1, 2}}
+	e, err := New(info, hashpr.Mixer{Seed: 1}, Config{Shards: 2, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.State(); got != StateIdle {
+		t.Errorf("fresh engine state = %v, want idle", got)
+	}
+	if err := e.Submit(setsystem.Element{Members: nil, Capacity: 1}); err == nil {
+		t.Fatal("invalid element accepted")
+	}
+	if got := e.State(); got != StateIdle {
+		t.Errorf("state after rejected submit = %v, want idle", got)
+	}
+	if err := e.Submit(setsystem.Element{Members: []setsystem.SetID{0}, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.State(); got != StateStreaming {
+		t.Errorf("state after submit = %v, want streaming", got)
+	}
+	if _, err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.State(); got != StateDrained {
+		t.Errorf("state after drain = %v, want drained", got)
+	}
+	for st, want := range map[State]string{StateIdle: "idle", StateStreaming: "streaming", StateDrained: "drained", State(9): "state(9)"} {
+		if st.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+// TestPrioritiesSharedWithSerial pins the Priorities accessor: deciding an
+// element with core.SelectTopPriority over the engine's vector reproduces
+// the shard decision, which is what the HTTP layer's immediate verdicts
+// depend on.
+func TestPrioritiesSharedWithSerial(t *testing.T) {
+	info := core.Info{Weights: []float64{1, 2, 3}, Sizes: []int{1, 1, 1}}
+	e, err := New(info, hashpr.Mixer{Seed: 7}, Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Drain()
+	want := core.HashPriorities(info, hashpr.Mixer{Seed: 7}, nil)
+	got := e.Priorities()
+	if len(got) != len(want) {
+		t.Fatalf("len(Priorities()) = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("priority[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSubmitValidatedMatchesSubmit pins the pre-validated fast path: a
+// stream fed through SubmitValidated produces the same result as Submit,
+// honors the lifecycle, and still refuses a drained stream.
+func TestSubmitValidatedMatchesSubmit(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 30, N: 1500, Load: 4, Capacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial(t, inst, 13)
+
+	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 13}, Config{Shards: 3, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range inst.Elements {
+		if err := e.SubmitValidated(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.State(); got != StateStreaming {
+		t.Errorf("state mid-stream = %v, want streaming", got)
+	}
+	got, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, got, want, "SubmitValidated")
+	if err := e.SubmitValidated(inst.Elements[0]); err != ErrDrained {
+		t.Errorf("SubmitValidated after Drain = %v, want ErrDrained", err)
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	info := core.Info{Weights: []float64{1, 1}, Sizes: []int{1, 1}}
 	e, err := New(info, hashpr.Mixer{}, Config{Shards: 1})

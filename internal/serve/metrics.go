@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Prometheus text-format exporter (exposition format version 0.0.4) for
+// the pool's engines. No client library is used: the engine's lock-free
+// counters are already the collected state, so rendering is a pure read
+// of every instance's Snapshot. The name/label reference lives in
+// docs/OPERATIONS.md.
+
+// metricDef describes one per-instance series derived from an
+// engine.Snapshot.
+type metricDef struct {
+	name  string
+	kind  string // "counter" or "gauge"
+	help  string
+	value func(engine.Snapshot) float64
+}
+
+// perInstanceMetrics is the exported series, one value per instance,
+// labeled {instance="i-n"} plus {label="..."} when a registration label
+// was supplied.
+var perInstanceMetrics = []metricDef{
+	{"osp_engine_submitted_elements_total", "counter",
+		"Elements flushed to shard queues (published once per batch).",
+		func(s engine.Snapshot) float64 { return float64(s.Submitted) }},
+	{"osp_engine_processed_elements_total", "counter",
+		"Elements decided by shard workers.",
+		func(s engine.Snapshot) float64 { return float64(s.Processed) }},
+	{"osp_engine_batches_total", "counter",
+		"Batches handed to shard workers.",
+		func(s engine.Snapshot) float64 { return float64(s.Batches) }},
+	{"osp_engine_assigned_total", "counter",
+		"Element-to-set assignments made (admitted memberships).",
+		func(s engine.Snapshot) float64 { return float64(s.Assigned) }},
+	{"osp_engine_dropped_total", "counter",
+		"Memberships denied (packets dropped in the router reading).",
+		func(s engine.Snapshot) float64 { return float64(s.Dropped) }},
+	{"osp_engine_completed_sets", "gauge",
+		"Sets completed at drain (0 while the stream is open).",
+		func(s engine.Snapshot) float64 { return float64(s.CompletedSets) }},
+	{"osp_engine_completed_weight", "gauge",
+		"Total weight of completed sets at drain (the OSP benefit).",
+		func(s engine.Snapshot) float64 { return s.CompletedWeight }},
+	{"osp_engine_elapsed_seconds", "gauge",
+		"Seconds since the engine opened, frozen at drain.",
+		func(s engine.Snapshot) float64 { return s.Elapsed.Seconds() }},
+	{"osp_engine_elements_per_second", "gauge",
+		"Processed elements per second of elapsed time.",
+		func(s engine.Snapshot) float64 { return s.ElementsPerSec }},
+}
+
+// writeMetrics renders the whole exposition: per-state instance gauges,
+// then every per-instance series.
+func writeMetrics(w io.Writer, p *Pool) {
+	instances := p.Instances()
+
+	states := map[engine.State]int{}
+	for _, in := range instances {
+		states[in.State()]++
+	}
+	fmt.Fprintf(w, "# HELP osp_instances Registered instances by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE osp_instances gauge\n")
+	for _, st := range []engine.State{engine.StateIdle, engine.StateStreaming, engine.StateDrained} {
+		fmt.Fprintf(w, "osp_instances{state=%q} %d\n", st.String(), states[st])
+	}
+
+	// One snapshot per instance, reused across all series so every series
+	// of an instance reflects the same instant.
+	snaps := make([]engine.Snapshot, len(instances))
+	labels := make([]string, len(instances))
+	for i, in := range instances {
+		snaps[i] = in.Snapshot()
+		labels[i] = instanceLabels(in)
+	}
+	fmt.Fprintf(w, "# HELP osp_instance_state Lifecycle state of each instance (1 on the current state's series).\n")
+	fmt.Fprintf(w, "# TYPE osp_instance_state gauge\n")
+	for i, in := range instances {
+		fmt.Fprintf(w, "osp_instance_state{%s,state=%q} 1\n", labels[i], in.State().String())
+	}
+
+	for _, def := range perInstanceMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", def.name, def.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", def.name, def.kind)
+		for i := range instances {
+			fmt.Fprintf(w, "%s{%s} %v\n", def.name, labels[i], def.value(snaps[i]))
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP osp_engine_shards Shard workers of the instance's engine.\n")
+	fmt.Fprintf(w, "# TYPE osp_engine_shards gauge\n")
+	for i, in := range instances {
+		fmt.Fprintf(w, "osp_engine_shards{%s} %d\n", labels[i], in.Shards())
+	}
+}
+
+// instanceLabels renders an instance's identifying label pairs. The
+// lifecycle state is deliberately NOT part of these: putting a mutable
+// state on a counter's labels would split the series every transition.
+// State is exported separately as the osp_instance_state info gauge.
+func instanceLabels(in *Instance) string {
+	var b strings.Builder
+	b.WriteString(`instance="`)
+	b.WriteString(escapeLabel(in.ID()))
+	b.WriteString(`"`)
+	if l := in.Label(); l != "" {
+		b.WriteString(`,label="`)
+		b.WriteString(escapeLabel(l))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

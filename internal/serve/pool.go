@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hashpr"
+	"repro/internal/setsystem"
+)
+
+// Errors reported by the pool.
+var (
+	// ErrPoolClosed is returned once Shutdown has begun: no new instances
+	// and no further ingestion.
+	ErrPoolClosed = errors.New("serve: pool is shutting down")
+	// ErrPoolFull is returned when registering would exceed MaxInstances.
+	ErrPoolFull = errors.New("serve: instance limit reached")
+	// ErrUnknownInstance is returned for an id the pool does not hold.
+	ErrUnknownInstance = errors.New("serve: unknown instance")
+)
+
+// Spec describes one instance registration: the up-front information, the
+// shared priority seed, engine sizing and an optional metrics label.
+type Spec struct {
+	Info   core.Info
+	Seed   uint64
+	Engine engine.Config
+	Label  string
+}
+
+// Instance is one registered set system and its live engine. The engine's
+// Submit/Drain contract is single-goroutine; Instance serializes
+// concurrent HTTP handlers onto that contract with a mutex, while verdict
+// computation — a pure function of the element and the fixed priority
+// vector — stays outside the lock.
+type Instance struct {
+	id    string
+	label string
+	seed  uint64
+	info  core.Info
+
+	mu  sync.Mutex // serializes Submit/Drain on the engine
+	eng *engine.Engine
+}
+
+// ID returns the server-assigned instance identifier.
+func (in *Instance) ID() string { return in.id }
+
+// Label returns the metrics label supplied at registration ("" if none).
+func (in *Instance) Label() string { return in.label }
+
+// Seed returns the shared priority seed.
+func (in *Instance) Seed() uint64 { return in.seed }
+
+// State returns the engine's lifecycle state.
+func (in *Instance) State() engine.State { return in.eng.State() }
+
+// Snapshot returns the engine's live metrics counters.
+func (in *Instance) Snapshot() engine.Snapshot { return in.eng.Metrics().Snapshot() }
+
+// Shards returns the resolved shard-worker count.
+func (in *Instance) Shards() int { return in.eng.NumShards() }
+
+// NumSets returns m, the number of sets in the instance's universe.
+func (in *Instance) NumSets() int { return in.info.NumSets() }
+
+// Status assembles the instance's wire status row.
+func (in *Instance) Status() InstanceStatus {
+	return InstanceStatus{
+		ID:      in.id,
+		Label:   in.label,
+		State:   in.State().String(),
+		Seed:    in.seed,
+		Shards:  in.Shards(),
+		Sets:    in.NumSets(),
+		Metrics: wireSnapshot(in.Snapshot()),
+	}
+}
+
+// Validate checks a batch without ingesting anything, returning the index
+// and cause of the first invalid element. Ingest batches are atomic:
+// handlers validate the whole batch up front so a malformed element
+// rejects the batch before any sibling is submitted.
+func (in *Instance) Validate(els []setsystem.Element) error {
+	m := in.info.NumSets()
+	for i, el := range els {
+		if err := setsystem.CheckElement(el, m); err != nil {
+			return fmt.Errorf("element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Ingest submits a batch the caller has already passed through Validate
+// to the engine in order, blocking on engine backpressure when shard
+// queues are full. The engine's SubmitValidated path skips the second
+// per-member validation scan. It returns engine.ErrDrained if the
+// stream was already closed.
+func (in *Instance) Ingest(els []setsystem.Element) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, el := range els {
+		if err := in.eng.SubmitValidated(el); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain closes the instance's stream and returns the final result,
+// bit-for-bit identical to a serial HashRandPr run under the same seed.
+// Idempotent.
+func (in *Instance) Drain() (*core.Result, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.eng.Drain()
+}
+
+// Verdicts computes the immediate admit/drop verdict for every element of
+// a batch: the engine's shards will reach — or have reached — exactly the
+// same decisions, because the faithful randPr rule depends only on the
+// element and the fixed hash-derived priority vector (Section 3.1). The
+// computation is pure and runs outside the instance lock, so concurrent
+// verdict requests never contend with ingestion.
+func (in *Instance) Verdicts(els []setsystem.Element) []Verdict {
+	prio := in.eng.Priorities()
+	verdicts := make([]Verdict, len(els))
+	var buf []setsystem.SetID
+	for i, el := range els {
+		buf = core.SelectTopPriority(el.Members, el.Capacity, prio, buf)
+		admitted := append([]setsystem.SetID(nil), buf...)
+		verdicts[i] = Verdict{Admitted: admitted, Dropped: droppedOf(el.Members, admitted)}
+	}
+	return verdicts
+}
+
+// droppedOf returns members \ admitted. Both inputs are in ascending
+// SetID order, so a single merge pass suffices.
+func droppedOf(members, admitted []setsystem.SetID) []setsystem.SetID {
+	dropped := make([]setsystem.SetID, 0, len(members)-len(admitted))
+	j := 0
+	for _, s := range members {
+		if j < len(admitted) && admitted[j] == s {
+			j++
+			continue
+		}
+		dropped = append(dropped, s)
+	}
+	return dropped
+}
+
+// Pool owns every registered instance: registration, lookup, removal, and
+// the graceful shutdown that drains all live engines. All methods are
+// safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	byID   map[string]*Instance
+	nextID int
+	max    int
+	closed bool
+}
+
+// NewPool returns a pool admitting at most max concurrent instances
+// (max <= 0 means the default, 1024).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Pool{byID: make(map[string]*Instance), max: max}
+}
+
+// Register creates an instance with a fresh engine and returns it. The
+// engine — whose construction allocates the priority vector, per-shard
+// counter arrays and the pre-filled batch free list, and spawns the
+// shard goroutines — is built OUTSIDE the pool mutex, so a large
+// registration never stalls the Get/Len/Instances calls every other
+// handler and the /metrics scrape depend on.
+func (p *Pool) Register(spec Spec) (*Instance, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if len(p.byID) >= p.max {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w (max %d)", ErrPoolFull, p.max)
+	}
+	p.nextID++
+	id := "i-" + strconv.Itoa(p.nextID)
+	p.mu.Unlock()
+
+	eng, err := engine.New(spec.Info, hashpr.Mixer{Seed: spec.Seed}, spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		id:    id,
+		label: spec.Label,
+		seed:  spec.Seed,
+		info:  spec.Info,
+		eng:   eng,
+	}
+
+	// Re-check under the lock: shutdown or a concurrent registration
+	// burst may have won the race while the engine was being built. The
+	// fresh engine is drained before rejecting so its shard goroutines
+	// never leak.
+	p.mu.Lock()
+	switch {
+	case p.closed:
+		p.mu.Unlock()
+		eng.Drain() //nolint:errcheck // fresh engine, nothing streamed
+		return nil, ErrPoolClosed
+	case len(p.byID) >= p.max:
+		p.mu.Unlock()
+		eng.Drain() //nolint:errcheck
+		return nil, fmt.Errorf("%w (max %d)", ErrPoolFull, p.max)
+	}
+	p.byID[in.id] = in
+	p.mu.Unlock()
+	return in, nil
+}
+
+// Get returns the instance with the given id.
+func (p *Pool) Get(id string) (*Instance, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	in, ok := p.byID[id]
+	return in, ok
+}
+
+// Remove drains the instance (stopping its shard workers) and deletes it
+// from the pool, freeing its memory.
+func (p *Pool) Remove(id string) error {
+	p.mu.Lock()
+	in, ok := p.byID[id]
+	delete(p.byID, id)
+	p.mu.Unlock()
+	if !ok {
+		return ErrUnknownInstance
+	}
+	_, err := in.Drain()
+	return err
+}
+
+// Instances returns the live instances sorted by registration order.
+func (p *Pool) Instances() []*Instance {
+	p.mu.Lock()
+	out := make([]*Instance, 0, len(p.byID))
+	for _, in := range p.byID {
+		out = append(out, in)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		return numericID(out[a].id) < numericID(out[b].id)
+	})
+	return out
+}
+
+// numericID extracts the registration counter from an "i-<n>" id.
+func numericID(id string) int {
+	n, _ := strconv.Atoi(id[len("i-"):])
+	return n
+}
+
+// Len returns the number of live instances.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byID)
+}
+
+// Closed reports whether Shutdown has begun.
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Shutdown begins graceful teardown: new registrations and further
+// ingestion are refused with ErrPoolClosed, and every live engine is
+// drained concurrently — each drain flushes pending batches through the
+// shard workers and stops them, so in-flight elements are decided, not
+// lost. Shutdown returns once every engine has drained or ctx expires
+// (draining continues in the background on expiry). Idempotent.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	instances := make([]*Instance, 0, len(p.byID))
+	for _, in := range p.byID {
+		instances = append(instances, in)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for _, in := range instances {
+			wg.Add(1)
+			go func(in *Instance) {
+				defer wg.Done()
+				in.Drain() //nolint:errcheck // drained result is discarded at shutdown
+			}(in)
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown interrupted with engines still draining: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,367 @@
+// Package serve is the network-facing admission service: an HTTP front
+// end over a pool of concurrent streaming engines. It turns the
+// in-process engine of internal/engine into the paper's deployment story
+// — a bottleneck router behind a network edge, remote producers racing
+// element batches against the admission deadline, every verdict returned
+// immediately.
+//
+// Endpoints (full request/response reference in docs/OPERATIONS.md):
+//
+//	POST   /v1/instances                 register a set system, open an engine
+//	GET    /v1/instances                 list instances with live metrics
+//	GET    /v1/instances/{id}            one instance's status
+//	POST   /v1/instances/{id}/elements   batched element ingest → admit/drop verdicts
+//	POST   /v1/instances/{id}/drain      close the stream → final Result (idempotent)
+//	DELETE /v1/instances/{id}            drain and remove the instance
+//	GET    /metrics                      Prometheus text exposition
+//	GET    /healthz                      liveness probe
+//
+// Verdicts are computed synchronously in the handler from the engine's
+// shared priority vector — the same pure decision rule the shards apply —
+// while the engine itself ingests the batch asynchronously behind bounded
+// queues. The two never disagree: the faithful randPr decision depends
+// only on the element and the fixed hash-derived priorities (Section
+// 3.1), never on run state, so handler and shard are just two replicas of
+// the same coordination-free rule. Backpressure therefore reaches the
+// client naturally — when shard queues are full, the ingest handler
+// blocks before answering.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/setsystem"
+)
+
+// Config sizes the service. The zero value is usable.
+type Config struct {
+	// MaxInstances bounds the engine pool; 0 means 1024.
+	MaxInstances int
+	// MaxBatch bounds the elements accepted in one ingest request;
+	// 0 means 65536. Oversized batches are rejected with 400 before any
+	// element is ingested.
+	MaxBatch int
+	// MaxBodyBytes bounds every request body; 0 means 256 MiB. Larger
+	// bodies are rejected with 413 — nothing is buffered past the limit.
+	MaxBodyBytes int64
+}
+
+// Hard caps on client-supplied engine sizing: a registration is a cheap
+// unauthenticated request, so nothing it carries may scale the daemon's
+// allocations unboundedly — neither a single field (the shard count is a
+// goroutine + a channel + an m-sized counter array each) nor a product
+// of fields (shards × sets is the total counter cells; shards × queue
+// depth sizes the pre-filled batch free list). Vars, not consts, so
+// tests can lower them without allocating gigabytes.
+var (
+	maxSets          = 1 << 24 // sets per instance (m)
+	maxShards        = 1024
+	maxBatchSize     = 1 << 20
+	maxQueueDepth    = 1 << 16
+	maxCounterCells  = 1 << 27 // resolved shards × sets (4 B each)
+	maxInFlightBatch = 1 << 20 // resolved shards × (queue depth + 1)
+)
+
+// withDefaults resolves zero fields to their defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 65536
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the admission service: an http.Handler wiring the API routes
+// to an engine pool. Create with New, mount anywhere an http.Handler
+// goes, and call Shutdown for a graceful drain of every live engine.
+type Server struct {
+	cfg  Config
+	pool *Pool
+	mux  *http.ServeMux
+}
+
+// New builds a Server with a fresh pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, pool: NewPool(cfg.MaxInstances), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/instances", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/instances", s.handleList)
+	s.mux.HandleFunc("GET /v1/instances/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/instances/{id}/elements", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/instances/{id}/drain", s.handleDrain)
+	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleRemove)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Pool exposes the engine pool (the daemon uses it for shutdown
+// reporting; tests use it to reach instances directly).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Shutdown gracefully closes the service: registrations and ingestion are
+// refused from this point, and every live engine is drained — in-flight
+// batches are decided, not dropped. See Pool.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+// writeJSON writes a JSON response body with the given status. The body
+// is marshaled before the header goes out, so an unencodable value (a
+// non-finite float, say) yields a clean 500 instead of a 200 with a
+// truncated body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		raw = []byte(fmt.Sprintf(`{"error":"encode response: %v"}`, err))
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw) //nolint:errcheck // client gone mid-write is not actionable
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v, holding the
+// body to the configured size limit.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleRegister opens a new instance: POST /v1/instances.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Weights) == 0 {
+		writeError(w, http.StatusBadRequest, "register: at least one set required")
+		return
+	}
+	if len(req.Weights) != len(req.Sizes) {
+		writeError(w, http.StatusBadRequest, "register: %d weights but %d sizes", len(req.Weights), len(req.Sizes))
+		return
+	}
+	for i, weight := range req.Weights {
+		if weight < 0 || math.IsInf(weight, 1) || math.IsNaN(weight) {
+			writeError(w, http.StatusBadRequest, "register: set %d has invalid weight %v", i, weight)
+			return
+		}
+		if req.Sizes[i] < 1 {
+			writeError(w, http.StatusBadRequest, "register: set %d has size %d, want >= 1", i, req.Sizes[i])
+			return
+		}
+	}
+	// Clamp client-supplied engine sizing: these fields allocate real
+	// resources per unit, individually and in products.
+	switch {
+	case len(req.Weights) > maxSets:
+		writeError(w, http.StatusBadRequest, "register: %d sets exceeds limit %d", len(req.Weights), maxSets)
+		return
+	case req.Shards < 0 || req.Shards > maxShards:
+		writeError(w, http.StatusBadRequest, "register: shards %d out of range [0, %d]", req.Shards, maxShards)
+		return
+	case req.BatchSize < 0 || req.BatchSize > maxBatchSize:
+		writeError(w, http.StatusBadRequest, "register: batch_size %d out of range [0, %d]", req.BatchSize, maxBatchSize)
+		return
+	case req.QueueDepth < 0 || req.QueueDepth > maxQueueDepth:
+		writeError(w, http.StatusBadRequest, "register: queue_depth %d out of range [0, %d]", req.QueueDepth, maxQueueDepth)
+		return
+	}
+	resolved := engine.Config{
+		Shards: req.Shards, BatchSize: req.BatchSize, QueueDepth: req.QueueDepth,
+	}.Resolved()
+	switch {
+	case resolved.Shards*len(req.Weights) > maxCounterCells:
+		writeError(w, http.StatusBadRequest,
+			"register: %d shards x %d sets exceeds %d counter cells", resolved.Shards, len(req.Weights), maxCounterCells)
+		return
+	case resolved.Shards*(resolved.QueueDepth+1) > maxInFlightBatch:
+		writeError(w, http.StatusBadRequest,
+			"register: %d shards x %d queue depth exceeds %d in-flight batches", resolved.Shards, resolved.QueueDepth, maxInFlightBatch)
+		return
+	}
+	in, err := s.pool.Register(Spec{
+		Info: core.Info{Weights: req.Weights, Sizes: req.Sizes},
+		Seed: req.Seed,
+		Engine: engine.Config{
+			Shards: req.Shards, BatchSize: req.BatchSize, QueueDepth: req.QueueDepth,
+		},
+		Label: req.Label,
+	})
+	switch {
+	case errors.Is(err, ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrPoolFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "register: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{
+		ID: in.ID(), Shards: in.Shards(), State: in.State().String(),
+	})
+}
+
+// instance resolves the {id} path parameter, answering 404 on a miss.
+func (s *Server) instance(w http.ResponseWriter, r *http.Request) (*Instance, bool) {
+	id := r.PathValue("id")
+	in, ok := s.pool.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown instance %q", id)
+		return nil, false
+	}
+	return in, true
+}
+
+// handleIngest streams one batch: POST /v1/instances/{id}/elements.
+// Batches are atomic: every element is validated before any is submitted,
+// so a malformed batch changes nothing. On success the response carries
+// the immediate admit/drop verdict of every element.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	if s.pool.Closed() {
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrPoolClosed)
+		return
+	}
+	var req IngestRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Elements) == 0 {
+		writeError(w, http.StatusBadRequest, "ingest: empty batch")
+		return
+	}
+	if len(req.Elements) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "ingest: batch of %d exceeds limit %d", len(req.Elements), s.cfg.MaxBatch)
+		return
+	}
+	els := make([]setsystem.Element, len(req.Elements))
+	for i, we := range req.Elements {
+		els[i] = we.element()
+	}
+	if err := in.Validate(els); err != nil {
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	if err := in.Ingest(els); err != nil {
+		if errors.Is(err, engine.ErrDrained) {
+			// Distinguish a client-drained instance (terminal, 409) from
+			// a drain forced by graceful shutdown racing this request
+			// (retryable elsewhere, 503 as documented).
+			if s.pool.Closed() {
+				writeError(w, http.StatusServiceUnavailable, "%v", ErrPoolClosed)
+				return
+			}
+			writeError(w, http.StatusConflict, "ingest: instance %s is already drained", in.ID())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Verdicts: in.Verdicts(els),
+		Ingested: len(els),
+	})
+}
+
+// handleDrain closes a stream: POST /v1/instances/{id}/drain.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	res, err := in.Drain()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{
+		Result:  wireResult(res),
+		Metrics: wireSnapshot(in.Snapshot()),
+	})
+}
+
+// handleStatus reports one instance: GET /v1/instances/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, in.Status())
+}
+
+// handleList reports every instance: GET /v1/instances.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	instances := s.pool.Instances()
+	resp := ListResponse{Instances: make([]InstanceStatus, len(instances))}
+	for i, in := range instances {
+		resp.Instances[i] = in.Status()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRemove drains and deletes an instance: DELETE /v1/instances/{id}.
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.pool.Remove(id); err != nil {
+		if errors.Is(err, ErrUnknownInstance) {
+			writeError(w, http.StatusNotFound, "unknown instance %q", id)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "remove: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMetrics renders the Prometheus exposition: GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.pool)
+}
+
+// handleHealthz is the liveness probe: GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.pool.Closed() {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

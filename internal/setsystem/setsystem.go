@@ -16,6 +16,7 @@ package setsystem
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -123,7 +124,7 @@ func (in *Instance) MemberMatrix() [][]int {
 // Errors returned by Validate.
 var (
 	ErrSizeMismatch   = errors.New("setsystem: declared set size differs from element membership count")
-	ErrBadCapacity    = errors.New("setsystem: element capacity must be >= 1")
+	ErrBadCapacity    = errors.New("setsystem: element capacity must be in [1, 2^31-1]")
 	ErrBadMemberOrder = errors.New("setsystem: element members must be strictly increasing SetIDs")
 	ErrMemberRange    = errors.New("setsystem: element member SetID out of range")
 	ErrNegativeWeight = errors.New("setsystem: set weight must be non-negative")
@@ -171,11 +172,14 @@ func (in *Instance) Validate() error {
 }
 
 // CheckElement validates one element against a universe of m sets:
-// capacity at least 1, at least one member, members strictly increasing
-// and in [0, m). It is the per-element slice of Validate, shared with
-// streaming ingestion paths that must reject elements as they arrive.
+// capacity in [1, 2^31−1], at least one member, members strictly
+// increasing and in [0, m). It is the per-element slice of Validate,
+// shared with streaming ingestion paths that must reject elements as
+// they arrive. The capacity ceiling keeps every downstream int32
+// representation (the engine's flat batch layout) exact; no meaningful
+// instance comes near it, since capacity is a per-slot link rate.
 func CheckElement(e Element, m int) error {
-	if e.Capacity < 1 {
+	if e.Capacity < 1 || e.Capacity > math.MaxInt32 {
 		return fmt.Errorf("%w: capacity %d", ErrBadCapacity, e.Capacity)
 	}
 	if len(e.Members) == 0 {

@@ -2,6 +2,7 @@ package setsystem
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -99,6 +100,14 @@ func TestValidateCatchesBadCapacity(t *testing.T) {
 	in.Elements[1].Capacity = 0
 	if err := in.Validate(); !errors.Is(err, ErrBadCapacity) {
 		t.Errorf("Validate = %v, want ErrBadCapacity", err)
+	}
+	// Capacities past the int32 ceiling are invalid too: downstream
+	// batch layouts store b(u) as int32, and a silent truncation there
+	// would break the engine/serial equivalence.
+	in = tinyInstance(t)
+	in.Elements[1].Capacity = math.MaxInt32 + 1
+	if err := in.Validate(); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("Validate(capacity 2^31) = %v, want ErrBadCapacity", err)
 	}
 }
 

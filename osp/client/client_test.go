@@ -1,0 +1,196 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/osp"
+	"repro/osp/client"
+)
+
+// startServer runs a full admission service on a loopback listener.
+func startServer(t *testing.T) (*client.Client, *osp.Server) {
+	t.Helper()
+	srv := osp.NewServer(osp.ServerConfig{})
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) }) //nolint:errcheck
+	c, err := client.New(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+// uniform builds a deterministic test workload.
+func uniform(t *testing.T, m, n, load int, seed int64) *osp.Instance {
+	t.Helper()
+	inst, err := osp.RandomInstance(osp.UniformConfig{M: m, N: n, Load: load, Capacity: 2},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestClientRoundTrip pins the whole client protocol against a live
+// server: register, batched ingest with verdicts, status, drain matching
+// the serial oracle bit-for-bit, metrics text, list, remove.
+func TestClientRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t)
+	const seed = 17
+	inst := uniform(t, 30, 600, 3, 3)
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	h, err := c.Register(ctx, client.Spec{
+		Info: osp.InfoOf(inst), Seed: seed,
+		Engine: osp.EngineConfig{Shards: 2, BatchSize: 16},
+		Label:  "round-trip",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() == "" || h.Shards() != 2 {
+		t.Fatalf("handle = id %q, %d shards", h.ID(), h.Shards())
+	}
+
+	var admitted, dropped int
+	const batch = 64
+	for off := 0; off < len(inst.Elements); off += batch {
+		end := min(off+batch, len(inst.Elements))
+		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(verdicts) != end-off {
+			t.Fatalf("got %d verdicts for a batch of %d", len(verdicts), end-off)
+		}
+		for i, v := range verdicts {
+			el := inst.Elements[off+i]
+			if len(v.Admitted) > el.Capacity {
+				t.Fatalf("element %d admitted to %d sets, capacity %d", off+i, len(v.Admitted), el.Capacity)
+			}
+			admitted += len(v.Admitted)
+			dropped += len(v.Dropped)
+		}
+	}
+
+	st, err := h.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "streaming" && st.State != "idle" {
+		t.Errorf("mid-stream state = %q", st.State)
+	}
+	if st.Label != "round-trip" || st.Seed != seed || st.Sets != inst.NumSets() {
+		t.Errorf("status = %+v", st)
+	}
+
+	res, err := h.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(serial) {
+		t.Fatalf("drained result differs from serial oracle: %v vs %v", res.Benefit, serial.Benefit)
+	}
+	// The verdict stream and the drained result agree in aggregate.
+	var assigned int
+	for _, cnt := range res.Assigned {
+		assigned += int(cnt)
+	}
+	if assigned != admitted {
+		t.Errorf("verdicts admitted %d memberships, result assigns %d", admitted, assigned)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`osp_engine_processed_elements_total{instance="` + h.ID() + `",label="round-trip"}`,
+		`osp_instances{state="drained"} 1`,
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("metrics missing %q", frag)
+		}
+	}
+
+	list, err := c.Instances(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != h.ID() || list[0].State != "drained" {
+		t.Errorf("list = %+v", list)
+	}
+
+	if err := h.Remove(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Status(ctx); !isStatus(err, 404) {
+		t.Errorf("status after remove = %v, want 404 APIError", err)
+	}
+}
+
+// TestClientErrors pins the typed error surface.
+func TestClientErrors(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t)
+
+	if _, err := client.New("not a url\x00"); err == nil {
+		t.Error("New accepted a bad URL")
+	}
+	if _, err := client.New("ftp://host"); err == nil {
+		t.Error("New accepted a non-http scheme")
+	}
+
+	// Register with no sets → 400.
+	if _, err := c.Register(ctx, client.Spec{}); !isStatus(err, 400) {
+		t.Errorf("empty register = %v, want 400 APIError", err)
+	}
+
+	inst := uniform(t, 5, 20, 2, 1)
+	h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid element → 400, batch atomic.
+	bad := []osp.Element{{Members: []osp.SetID{99}, Capacity: 1}}
+	if _, err := h.Ingest(ctx, bad); !isStatus(err, 400) {
+		t.Errorf("bad ingest = %v, want 400 APIError", err)
+	}
+
+	// Ingest after drain → 409.
+	if _, err := h.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Ingest(ctx, inst.Elements[:1]); !isStatus(err, 409) {
+		t.Errorf("ingest after drain = %v, want 409 APIError", err)
+	}
+
+	// Error text is surfaced.
+	var apiErr *client.APIError
+	_, err = h.Ingest(ctx, inst.Elements[:1])
+	if !errors.As(err, &apiErr) || apiErr.Message == "" || !strings.Contains(apiErr.Error(), "409") {
+		t.Errorf("APIError not descriptive: %v", err)
+	}
+}
+
+// isStatus reports whether err is an *client.APIError with the given
+// HTTP status.
+func isStatus(err error, code int) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == code
+}

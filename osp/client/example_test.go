@@ -1,0 +1,63 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/osp"
+	"repro/osp/client"
+)
+
+// Example walks the full client protocol against a live admission
+// server: register a set system, stream its elements for immediate
+// verdicts, drain the final result, and verify it bit-for-bit against
+// the serial distributed-randPr oracle under the same seed.
+func Example() {
+	// A real deployment points at a running `ospserve -listen` daemon;
+	// here we mount the same service on a loopback test listener.
+	srv := osp.NewServer(osp.ServerConfig{})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	var b osp.Builder
+	a := b.AddSet(1)   // weight-1 frame
+	c := b.AddSet(2)   // weight-2 frame
+	b.AddElement(a, c) // a slot where both frames have a packet: one must drop
+	b.AddElement(a)
+	b.AddElement(c)
+	inst := b.MustBuild()
+
+	ctx := context.Background()
+	cl, err := client.New(hs.URL)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	const seed = 42
+	h, err := cl.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: seed, Label: "demo"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	verdicts, err := h.Ingest(ctx, inst.Elements)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("contested slot: admitted %v, dropped %v\n", verdicts[0].Admitted, verdicts[0].Dropped)
+
+	res, err := h.Drain(ctx)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	serial, _ := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	fmt.Printf("benefit %.0f, identical to serial oracle: %v\n", res.Benefit, res.Equal(serial))
+	// Output:
+	// contested slot: admitted [1], dropped [0]
+	// benefit 2, identical to serial oracle: true
+}

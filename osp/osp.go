@@ -48,6 +48,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/offline"
 	"repro/internal/partial"
+	"repro/internal/serve"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
 )
@@ -88,6 +89,24 @@ type (
 	EngineMetrics = engine.Metrics
 	// EngineSnapshot is a point-in-time view of EngineMetrics.
 	EngineSnapshot = engine.Snapshot
+	// EngineState is an engine's lifecycle position: EngineIdle at
+	// creation, EngineStreaming after the first accepted Submit,
+	// EngineDrained (terminal) once Drain closes the stream.
+	EngineState = engine.State
+
+	// Server is the network-facing admission service: an http.Handler
+	// exposing instance registration, batched element ingest with
+	// immediate admit/drop verdicts, drains, and a Prometheus /metrics
+	// endpoint, all backed by a pool of concurrent engines. Create with
+	// NewServer, mount on any net/http server, and call Server.Shutdown
+	// for a graceful drain of every live engine. The osp/client package
+	// is the matching Go client; docs/OPERATIONS.md documents the HTTP
+	// API and operational semantics.
+	Server = serve.Server
+	// ServerConfig sizes the admission service: the engine-pool instance
+	// limit, the per-request ingest batch cap and the request body byte
+	// cap.
+	ServerConfig = serve.Config
 
 	// Solution is an offline packing with its weight.
 	Solution = offline.Solution
@@ -121,6 +140,25 @@ func NewEngine(info Info, seed uint64, cfg EngineConfig) (*Engine, error) {
 func RunEngine(inst *Instance, seed uint64, cfg EngineConfig) (*Result, error) {
 	return engine.Replay(inst, hashpr.Mixer{Seed: seed}, cfg)
 }
+
+// Engine lifecycle states (see EngineState).
+const (
+	// EngineIdle: created, no element submitted yet.
+	EngineIdle = engine.StateIdle
+	// EngineStreaming: at least one element submitted, not yet drained.
+	EngineStreaming = engine.StateStreaming
+	// EngineDrained: Drain has run; the Result is final.
+	EngineDrained = engine.StateDrained
+)
+
+// NewServer builds the networked admission service: HTTP ingest over a
+// concurrent engine pool. The returned Server is an http.Handler; serve
+// it with net/http and shut it down gracefully with Server.Shutdown,
+// which drains every live engine so in-flight elements are decided, not
+// lost. cmd/ospserve -listen wraps exactly this, and cmd/osploadgen is a
+// ready-made traffic source that cross-checks drained results against
+// the serial NewHashRandPr oracle.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 
 // NewRandPr returns the paper's randomized algorithm: per-set priorities
 // drawn from R_w(S), each element assigned to its highest-priority
