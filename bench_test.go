@@ -310,7 +310,7 @@ func benchEngineShards(b *testing.B, shards int) {
 	cfg := engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Replay(vi.Inst, hashpr.Mixer{Seed: uint64(i)}, cfg); err != nil {
+		if _, err := engine.Replay(vi.Inst, uint64(i), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -345,7 +345,7 @@ func BenchmarkEngineVsSerial(b *testing.B) {
 	b.Run("engine", func(b *testing.B) {
 		cfg := engine.Config{Shards: 1, BatchSize: 128}
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.Replay(vi.Inst, hashpr.Mixer{Seed: uint64(i)}, cfg); err != nil {
+			if _, err := engine.Replay(vi.Inst, uint64(i), cfg); err != nil {
 				b.Fatal(err)
 			}
 		}

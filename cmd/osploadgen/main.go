@@ -1,20 +1,22 @@
 // Command osploadgen is the load generator for the networked admission
 // service (ospserve -listen): it sustains a target element rate against
 // a live server over the HTTP client, then drains and cross-checks the
-// result bit-for-bit against a serial hashRandPr run of the same
-// workload under the same seed — the remote producers of the paper's
-// bottleneck-router story, with the admission guarantee verified end to
-// end through the network.
+// result bit-for-bit against a serial run of the registered admission
+// policy on the same workload under the same seed — the remote producers
+// of the paper's bottleneck-router story, with the admission guarantee
+// verified end to end through the network.
 //
 // Usage:
 //
 //	osploadgen -addr http://localhost:8080 -n 200000 -rate 100000
 //	osploadgen -n 500000                 # no -addr: embeds a server in-process
 //	osploadgen -n 200000 -rate 0        # full speed, report the sustained rate
+//	osploadgen -policy first-fit -n 100000  # register a non-default policy
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/osp"
@@ -47,8 +50,9 @@ func run(args []string, w io.Writer) error {
 		rate     = fs.Float64("rate", 0, "target arrival rate in elements/sec (0 = full speed)")
 		batch    = fs.Int("batch", 1000, "elements per ingest request")
 		shards   = fs.Int("shards", 0, "server-side engine shards (0 = server default)")
+		policy   = fs.String("policy", "", "admission policy: "+strings.Join(osp.PolicyNames(), ", ")+` ("" = server default randpr)`)
 		label    = fs.String("label", "loadgen", "metrics label for the registered instance")
-		verify   = fs.Bool("verify", true, "cross-check the drained result against the serial hashRandPr oracle")
+		verify   = fs.Bool("verify", true, "cross-check the drained result against the policy's serial oracle")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,14 +91,14 @@ func run(args []string, w io.Writer) error {
 	h, err := c.Register(ctx, client.Spec{
 		Info:   osp.InfoOf(inst),
 		Seed:   uint64(*seed),
-		Engine: osp.EngineConfig{Shards: *shards},
+		Engine: osp.EngineConfig{Shards: *shards, Policy: *policy},
 		Label:  *label,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "target:   %s%s, instance %s, %d shards, rate target %s\n",
-		base, embedded, h.ID(), h.Shards(), rateString(*rate))
+	fmt.Fprintf(w, "target:   %s%s, instance %s, %d shards, policy %s, rate target %s\n",
+		base, embedded, h.ID(), h.Shards(), h.Policy(), rateString(*rate))
 
 	var admitted, dropped uint64
 	start := time.Now()
@@ -109,7 +113,12 @@ func run(args []string, w io.Writer) error {
 		end := min(off+*batch, len(inst.Elements))
 		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
 		if err != nil {
-			return fmt.Errorf("ingest batch at %d: %w", off, err)
+			// Drain the instance anyway so the server side stops cleanly,
+			// and surface both errors — as engine.Replay does for a
+			// mid-stream Submit failure.
+			_, derr := h.Drain(ctx)
+			return errors.Join(
+				fmt.Errorf("ingest batch at %d (policy %s): %w", off, h.Policy(), err), derr)
 		}
 		for _, v := range verdicts {
 			admitted += uint64(len(v.Admitted))
@@ -141,15 +150,19 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *verify {
-		serial, err := osp.Run(inst, osp.NewHashRandPr(uint64(*seed)), nil)
+		alg, err := osp.NewPolicyAlgorithm(h.Policy(), uint64(*seed))
+		if err != nil {
+			return err
+		}
+		serial, err := osp.Run(inst, alg, nil)
 		if err != nil {
 			return err
 		}
 		if !res.Equal(serial) {
-			return fmt.Errorf("drained result differs from serial hashRandPr oracle (server %.3f, serial %.3f)",
-				res.Benefit, serial.Benefit)
+			return fmt.Errorf("policy %s: drained result differs from its serial oracle (server %.3f, serial %.3f, seed %d)",
+				h.Policy(), res.Benefit, serial.Benefit, *seed)
 		}
-		fmt.Fprintf(w, "verify:   drained result bit-for-bit identical to serial hashRandPr oracle (seed %d)\n", *seed)
+		fmt.Fprintf(w, "verify:   drained result bit-for-bit identical to serial %s oracle (seed %d)\n", h.Policy(), *seed)
 	}
 	return nil
 }

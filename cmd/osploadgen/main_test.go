@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/osp"
 )
 
 // TestLoadgenEmbeddedVerified runs the generator end to end against the
@@ -26,6 +28,38 @@ func TestLoadgenEmbeddedVerified(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("output missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// TestLoadgenPolicies runs the generator against the embedded server once
+// per registered policy and requires each drained result to match that
+// policy's serial oracle.
+func TestLoadgenPolicies(t *testing.T) {
+	for _, pol := range osp.PolicyNames() {
+		var buf bytes.Buffer
+		err := run([]string{"-m", "20", "-n", "1000", "-load", "3", "-batch", "200",
+			"-seed", "4", "-policy", pol}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for _, frag := range []string{
+			"policy " + pol,
+			"verify:   drained result bit-for-bit identical to serial " + pol + " oracle",
+		} {
+			if !strings.Contains(buf.String(), frag) {
+				t.Errorf("%s: output missing %q:\n%s", pol, frag, buf.String())
+			}
+		}
+	}
+}
+
+// TestLoadgenUnknownPolicy pins the registry rejection surfacing through
+// the client as a 400.
+func TestLoadgenUnknownPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-m", "5", "-n", "10", "-policy", "bogus"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown policy error = %v, want the bad name in the message", err)
 	}
 }
 

@@ -1,11 +1,15 @@
 // Command ospperf measures the admission hot path and emits the tracked
-// benchmark baseline (BENCH_1.json): ns/element and allocs/element for the
+// benchmark baseline (BENCH_2.json): ns/element and allocs/element for the
 // top-k decide kernel (against the sort-based path it replaced), the
-// serial runner, and the streaming engine across a shard-count matrix.
+// serial runner, the streaming engine across a shard-count matrix, and —
+// since the policy-layer refactor — every registered admission policy
+// (ns/element, allocs/element, elements/sec, mean benefit on a fixed
+// workload). The per-policy rows prove the Policy abstraction did not
+// regress the randPr kernel against the pre-refactor BENCH_1.json.
 //
 // Usage:
 //
-//	ospperf                       # full matrix, writes BENCH_1.json
+//	ospperf                       # full matrix, writes BENCH_2.json
 //	ospperf -quick -out /dev/null # CI smoke sizes
 //	ospperf -failonalloc          # exit 1 on any allocs/element > 0
 //
@@ -32,16 +36,18 @@ import (
 	"repro/internal/workload"
 )
 
-// Report is the schema of BENCH_1.json.
+// Report is the schema of BENCH_2.json (a superset of BENCH_1.json's:
+// the policies section is new).
 type Report struct {
-	Bench         string       `json:"bench"`
-	GeneratedUnix int64        `json:"generated_unix"`
-	GoVersion     string       `json:"go_version"`
-	GOMAXPROCS    int          `json:"gomaxprocs"`
-	Quick         bool         `json:"quick"`
-	Decide        DecideBench  `json:"decide"`
-	Serial        SerialBench  `json:"serial"`
-	Engine        []ShardBench `json:"engine"`
+	Bench         string        `json:"bench"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoVersion     string        `json:"go_version"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Quick         bool          `json:"quick"`
+	Decide        DecideBench   `json:"decide"`
+	Serial        SerialBench   `json:"serial"`
+	Engine        []ShardBench  `json:"engine"`
+	Policies      []PolicyBench `json:"policies"`
 }
 
 // DecideBench is the capacity<=8 selection microbenchmark: the new
@@ -72,6 +78,20 @@ type ShardBench struct {
 	AllocsPerElement float64 `json:"allocs_per_element"`
 }
 
+// PolicyBench is one registered admission policy streamed through the
+// engine on the matrix workload: end-to-end timing, the steady-state
+// allocation probe, and the mean benefit over a handful of seeds of the
+// policy's serial oracle (deterministic policies repeat one value).
+type PolicyBench struct {
+	Policy           string  `json:"policy"`
+	Shards           int     `json:"shards"`
+	Elements         int     `json:"elements"`
+	NsPerElement     float64 `json:"ns_per_element"`
+	ElementsPerSec   float64 `json:"elements_per_sec"`
+	AllocsPerElement float64 `json:"allocs_per_element"`
+	MeanBenefit      float64 `json:"mean_benefit"`
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ospperf:", err)
@@ -82,7 +102,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospperf", flag.ContinueOnError)
 	var (
-		out         = fs.String("out", "BENCH_1.json", "output JSON path (- prints the JSON to stdout)")
+		out         = fs.String("out", "BENCH_2.json", "output JSON path (- prints the JSON to stdout)")
 		shardsFlag  = fs.String("shards", "1,2,4,8", "comma-separated shard counts for the engine matrix")
 		quick       = fs.Bool("quick", false, "small sizes for a CI smoke pass")
 		reps        = fs.Int("reps", 3, "timed repetitions per cell (best-of)")
@@ -140,6 +160,16 @@ func run(args []string, w io.Writer) error {
 			sb.Shards, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
 	}
 
+	for _, name := range core.PolicyNames() {
+		pb, err := benchPolicy(inst, name, *reps, *seed)
+		if err != nil {
+			return err
+		}
+		rep.Policies = append(rep.Policies, pb)
+		fmt.Fprintf(w, "policy %s: %.1f ns/element, %.0f elements/s, allocs/element %.3f, mean benefit %.1f\n",
+			pb.Policy, pb.NsPerElement, pb.ElementsPerSec, pb.AllocsPerElement, pb.MeanBenefit)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -160,6 +190,11 @@ func run(args []string, w io.Writer) error {
 		for _, sb := range rep.Engine {
 			if sb.AllocsPerElement > 0 {
 				return fmt.Errorf("engine shards=%d allocates %.3f/element in steady state, want 0", sb.Shards, sb.AllocsPerElement)
+			}
+		}
+		for _, pb := range rep.Policies {
+			if pb.AllocsPerElement > 0 {
+				return fmt.Errorf("policy %s allocates %.3f/element in steady state, want 0", pb.Policy, pb.AllocsPerElement)
 			}
 		}
 	}
@@ -248,25 +283,79 @@ func benchSerial(inst *setsystem.Instance, reps int, seed int64) SerialBench {
 // benchEngine times a full engine replay at the given shard count and
 // measures steady-state ingestion allocations on a persistent engine.
 func benchEngine(inst *setsystem.Instance, shards, reps int, seed int64) (ShardBench, error) {
-	cfg := engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}
+	ns, allocs, err := benchEngineConfig(inst,
+		engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}, reps, seed)
+	if err != nil {
+		return ShardBench{}, err
+	}
+	n := inst.NumElements()
+	return ShardBench{
+		Shards:           shards,
+		Elements:         n,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
+}
+
+// benchPolicy streams the matrix workload through the engine under one
+// registered policy: replay timing, the steady-state allocation probe,
+// and the mean serial-oracle benefit over a few seeds.
+func benchPolicy(inst *setsystem.Instance, name string, reps int, seed int64) (PolicyBench, error) {
+	const policyShards = 4
+	cfg := engine.Config{Shards: policyShards, BatchSize: 128, QueueDepth: 8, Policy: name}
+	ns, allocs, err := benchEngineConfig(inst, cfg, reps, seed)
+	if err != nil {
+		return PolicyBench{}, err
+	}
+
+	pol, err := core.LookupPolicy(name)
+	if err != nil {
+		return PolicyBench{}, err
+	}
+	const trials = 5
+	var benefit float64
+	for t := 0; t < trials; t++ {
+		res, err := core.Run(inst, &core.PolicyAlgorithm{Policy: pol, Seed: uint64(seed) + uint64(t)}, nil)
+		if err != nil {
+			return PolicyBench{}, err
+		}
+		benefit += res.Benefit
+	}
+
+	n := inst.NumElements()
+	return PolicyBench{
+		Policy:           name,
+		Shards:           policyShards,
+		Elements:         n,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+		MeanBenefit:      benefit / trials,
+	}, nil
+}
+
+// benchEngineConfig is the shared measurement body: best-of replay wall
+// time plus the steady-state allocation probe on a persistent engine.
+func benchEngineConfig(inst *setsystem.Instance, cfg engine.Config, reps int, seed int64) (ns int64, allocs uint64, err error) {
 	var replayErr error
-	ns := timeBest(reps, func() {
+	ns = timeBest(reps, func() {
 		if replayErr != nil {
 			return
 		}
-		if _, err := engine.Replay(inst, hashpr.Mixer{Seed: uint64(seed)}, cfg); err != nil {
+		if _, err := engine.Replay(inst, uint64(seed), cfg); err != nil {
 			replayErr = err
 		}
 	})
 	if replayErr != nil {
-		return ShardBench{}, replayErr
+		return 0, 0, replayErr
 	}
 
 	// Steady-state allocation probe: warm a persistent engine past its
 	// high-water mark, then count mallocs over a second full pass.
-	e, err := engine.New(core.InfoOf(inst), hashpr.Mixer{Seed: uint64(seed)}, cfg)
+	e, err := engine.New(core.InfoOf(inst), uint64(seed), cfg)
 	if err != nil {
-		return ShardBench{}, err
+		return 0, 0, err
 	}
 	submitAll := func() {
 		for _, el := range inst.Elements {
@@ -276,19 +365,11 @@ func benchEngine(inst *setsystem.Instance, shards, reps int, seed int64) (ShardB
 		}
 	}
 	submitAll() // warm-up pass grows every buffer
-	allocs := allocsDuring(5, submitAll)
+	allocs = allocsDuring(5, submitAll)
 	if _, err := e.Drain(); err != nil {
-		return ShardBench{}, err
+		return 0, 0, err
 	}
-
-	n := inst.NumElements()
-	return ShardBench{
-		Shards:           shards,
-		Elements:         n,
-		NsPerElement:     float64(ns) / float64(n),
-		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
-		AllocsPerElement: float64(allocs) / float64(n),
-	}, nil
+	return ns, allocs, nil
 }
 
 // timeBest runs f reps times and returns the fastest wall time in

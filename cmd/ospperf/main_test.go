@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // TestQuickMatrix runs the CI smoke configuration end to end: the quick
@@ -39,6 +41,24 @@ func TestQuickMatrix(t *testing.T) {
 	for _, sb := range rep.Engine {
 		if sb.ElementsPerSec <= 0 {
 			t.Errorf("shards=%d: no throughput recorded", sb.Shards)
+		}
+	}
+	if len(rep.Policies) != len(core.PolicyNames()) {
+		t.Fatalf("policy bench has %d rows, want one per registered policy (%d)",
+			len(rep.Policies), len(core.PolicyNames()))
+	}
+	for i, pb := range rep.Policies {
+		if pb.Policy != core.PolicyNames()[i] {
+			t.Errorf("policies[%d] = %q, want %q (sorted registry order)", i, pb.Policy, core.PolicyNames()[i])
+		}
+		if pb.NsPerElement <= 0 || pb.ElementsPerSec <= 0 {
+			t.Errorf("policy %s: timings not populated: %+v", pb.Policy, pb)
+		}
+		if pb.AllocsPerElement > 0 {
+			t.Errorf("policy %s: %.3f allocs/element in steady state, want 0", pb.Policy, pb.AllocsPerElement)
+		}
+		if pb.Policy != "first-fit" && pb.MeanBenefit <= 0 {
+			t.Errorf("policy %s: mean benefit %.3f not populated", pb.Policy, pb.MeanBenefit)
 		}
 	}
 }

@@ -19,6 +19,7 @@
 //
 //	ospserve -workload video -streams 64 -frames 32 -shards 4
 //	ospserve -workload multihop -hops 8 -packets 500 -rate 50000
+//	ospserve -workload uniform -policy greedy-remaining -verify
 //	ospserve -trace trace.osp -verify
 //	ospserve -listen :8080
 package main
@@ -34,12 +35,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
 	"repro/osp"
@@ -72,6 +73,7 @@ func run(args []string, w io.Writer) error {
 		n       = fs.Int("n", 2000, "uniform: number of elements")
 		load    = fs.Int("load", 8, "uniform: element load σ(u)")
 		shards  = fs.Int("shards", 0, "engine shard workers (0 = GOMAXPROCS)")
+		policy  = fs.String("policy", "", "admission policy: "+strings.Join(core.PolicyNames(), ", ")+` ("" = randpr)`)
 		batch   = fs.Int("batch", 0, "engine ingestion batch size (0 = default)")
 		queue   = fs.Int("queue", 0, "engine per-shard queue depth in batches (0 = default)")
 		rate    = fs.Float64("rate", 0, "target arrival rate in elements/sec (0 = full speed)")
@@ -103,12 +105,13 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "workload: %s\n", desc)
 	fmt.Fprintf(w, "instance: %v\n", inst)
 
-	cfg := engine.Config{Shards: *shards, BatchSize: *batch, QueueDepth: *queue}
-	eng, err := engine.New(core.InfoOf(inst), hashpr.Mixer{Seed: uint64(*seed)}, cfg)
+	cfg := engine.Config{Shards: *shards, BatchSize: *batch, QueueDepth: *queue, Policy: *policy}
+	eng, err := engine.New(core.InfoOf(inst), uint64(*seed), cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "engine: %d shards, rate target %s\n\n", eng.NumShards(), rateString(*rate))
+	fmt.Fprintf(w, "engine: %d shards, policy %s, rate target %s\n\n",
+		eng.NumShards(), eng.PolicyName(), rateString(*rate))
 
 	stopReport := startReporter(w, eng, *report)
 	start := time.Now()
@@ -120,9 +123,11 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 		if err := eng.Submit(el); err != nil {
-			eng.Drain()
+			// Drain anyway so the shard workers stop; surface both errors,
+			// as engine.Replay does.
+			_, derr := eng.Drain()
 			stopReport()
-			return err
+			return errors.Join(err, derr)
 		}
 	}
 	res, err := eng.Drain()
@@ -134,15 +139,19 @@ func run(args []string, w io.Writer) error {
 	printReport(w, inst, res, eng.Metrics().Snapshot())
 
 	if *verify {
-		serial, err := core.Run(inst, &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(*seed)}}, nil)
+		pol, err := core.LookupPolicy(*policy)
+		if err != nil {
+			return err
+		}
+		serial, err := core.Run(inst, &core.PolicyAlgorithm{Policy: pol, Seed: uint64(*seed)}, nil)
 		if err != nil {
 			return err
 		}
 		if !res.Equal(serial) {
-			return fmt.Errorf("engine result differs from serial hashRandPr (engine %.3f, serial %.3f)",
-				res.Benefit, serial.Benefit)
+			return fmt.Errorf("policy %s: engine result differs from its serial oracle (engine %.3f, serial %.3f, seed %d)",
+				pol.Name(), res.Benefit, serial.Benefit, *seed)
 		}
-		fmt.Fprintf(w, "verify: engine output identical to serial hashRandPr (seed %d)\n", *seed)
+		fmt.Fprintf(w, "verify: engine output identical to serial %s oracle (seed %d)\n", pol.Name(), *seed)
 	}
 	return nil
 }

@@ -179,6 +179,33 @@ func TestServeTrace(t *testing.T) {
 	}
 }
 
+// TestServePolicyFlag runs every registered policy through replay mode
+// with -verify: the engine must match that policy's serial oracle, and
+// the verify line must name the policy it checked.
+func TestServePolicyFlag(t *testing.T) {
+	for _, pol := range osp.PolicyNames() {
+		var buf bytes.Buffer
+		err := run([]string{"-workload", "uniform", "-m", "20", "-n", "200", "-load", "3",
+			"-shards", "2", "-policy", pol, "-verify"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for _, frag := range []string{"policy " + pol, "verify: engine output identical to serial " + pol + " oracle"} {
+			if !strings.Contains(buf.String(), frag) {
+				t.Errorf("%s: output missing %q:\n%s", pol, frag, buf.String())
+			}
+		}
+	}
+}
+
+func TestServeUnknownPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "uniform", "-m", "5", "-n", "10", "-policy", "nope"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("unknown policy error = %v, want the bad name in the message", err)
+	}
+}
+
 func TestServeErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-workload", "nope"}, &buf); err == nil {

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
 )
@@ -22,7 +21,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	const batchSize = 64
-	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 5}, Config{Shards: 2, BatchSize: batchSize, QueueDepth: 4})
+	e, err := New(core.InfoOf(inst), 5, Config{Shards: 2, BatchSize: batchSize, QueueDepth: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +65,7 @@ func TestSubmitDoesNotRetainMembers(t *testing.T) {
 	}
 	want := serial(t, inst, 31)
 
-	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 31}, Config{Shards: 4, BatchSize: 16, QueueDepth: 2})
+	e, err := New(core.InfoOf(inst), 31, Config{Shards: 4, BatchSize: 16, QueueDepth: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +101,7 @@ func TestReplayJoinsSubmitAndDrainErrors(t *testing.T) {
 			{Members: []setsystem.SetID{5}, Capacity: 1}, // out of range
 		},
 	}
-	_, err := Replay(inst, hashpr.Mixer{Seed: 1}, Config{Shards: 1})
+	_, err := Replay(inst, 1, Config{Shards: 1})
 	if err == nil {
 		t.Fatal("Replay accepted an out-of-range member")
 	}

@@ -1,29 +1,33 @@
 // Package engine is the sharded concurrent streaming admission engine: it
-// serves a live element stream through the paper's distributed randPr at
-// multi-core throughput.
+// serves a live element stream through a pluggable admission policy —
+// the paper's distributed randPr by default — at multi-core throughput.
 //
-// The design exploits the observation behind Section 3.1: the faithful
-// randPr decision for an element depends only on the element itself and on
-// the fixed hash-derived R_w priorities — never on the run state. Shards
-// therefore need no locks, no shared mutable state and no coordination on
-// the hot path:
+// The design exploits the observation behind Section 3.1, generalized by
+// the policy contract (core.Policy, DESIGN.md §11): a policy's decision
+// for an element depends only on the element itself and on frozen
+// per-instance state built deterministically from (Info, seed) — never on
+// the run state. Shards therefore need no locks, no shared mutable state
+// and no coordination on the hot path:
 //
-//   - New computes the priority vector once (core.HashPriorities, the same
-//     code path HashRandPr uses) and hands every shard a read-only view.
+//   - New resolves the configured policy name (core.LookupPolicy) and runs
+//     its Setup once — for the default randPr policy that is
+//     core.HashPriorities, the same code path HashRandPr uses — handing
+//     every shard a read-only view of the resulting state.
 //   - Submit copies arriving elements into a flat structure-of-arrays
 //     batch — one shared member buffer plus per-element offset/capacity
 //     arrays — and hands full batches to shard workers round-robin over
 //     bounded channels; a full queue blocks the submitter, giving natural
 //     backpressure. Batches are recycled through a free list, so
 //     steady-state ingestion allocates nothing.
-//   - Each shard decides its elements with core.SelectTopPriorityInPlace
-//     directly on the batch buffer and accumulates per-set assignment
-//     counts in shard-local arrays.
+//   - Each shard decides its elements with the policy state's
+//     DecideInPlace directly on the batch buffer and accumulates per-set
+//     assignment counts in shard-local arrays.
 //   - Drain flushes, stops the workers and merges the shard counters into
 //     a Result that is bit-for-bit identical to a serial core.Run with
-//     HashRandPr under the same seed: integer assignment counts commute
-//     across shards, and the completion sweep re-walks sets in ascending
-//     order exactly as the serial runner does.
+//     the policy's oracle (core.PolicyAlgorithm — HashRandPr for the
+//     default policy) under the same seed: integer assignment counts
+//     commute across shards, and the completion sweep re-walks sets in
+//     ascending order exactly as the serial runner does.
 //
 // Live progress is observable through Metrics while the stream is open.
 // All metric publication is amortized to one atomic update per batch:
@@ -39,7 +43,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 )
 
@@ -76,8 +79,9 @@ func (s State) String() string {
 	}
 }
 
-// Config sizes the engine. The zero value is usable: one shard per CPU,
-// 64-element batches, 8 queued batches per shard.
+// Config sizes the engine and names its admission policy. The zero value
+// is usable: one shard per CPU, 64-element batches, 8 queued batches per
+// shard, the randpr policy.
 type Config struct {
 	// Shards is the number of worker goroutines; 0 means GOMAXPROCS.
 	Shards int
@@ -86,6 +90,11 @@ type Config struct {
 	// QueueDepth is the number of batches each shard buffers before
 	// Submit blocks (backpressure); 0 means 8.
 	QueueDepth int
+	// Policy names the admission policy, resolved through
+	// core.LookupPolicy; "" means core.DefaultPolicy (randpr). Every
+	// registered policy produces results reproducible across shard counts
+	// under a fixed seed.
+	Policy string
 }
 
 // Resolved returns the config with zero fields resolved to the defaults
@@ -111,10 +120,11 @@ func (c Config) withDefaults() Config {
 
 // Errors reported by the engine. Invalid elements are rejected with the
 // setsystem validation errors (setsystem.ErrBadCapacity,
-// setsystem.ErrMemberRange, …).
+// setsystem.ErrMemberRange, …); unknown policy names are rejected with
+// core.ErrUnknownPolicy wrapped.
 var (
 	ErrDrained   = errors.New("engine: stream already drained")
-	ErrNilHasher = errors.New("engine: nil hasher")
+	ErrNilPolicy = errors.New("engine: nil policy")
 )
 
 // batch is one ingestion unit in flat structure-of-arrays layout: the
@@ -149,14 +159,15 @@ func (b *batch) reset() {
 	b.caps = b.caps[:0]
 }
 
-// Engine streams elements through sharded randPr admission. Submit and
+// Engine streams elements through sharded policy admission. Submit and
 // Drain must be called from a single goroutine (the arrival stream is a
 // sequence, as in the OSP protocol); the shard workers run concurrently
 // underneath.
 type Engine struct {
 	cfg     Config
 	info    core.Info
-	prio    []float64 // read-only after New; shared by all shards
+	policy  string           // resolved policy name
+	decider core.PolicyState // read-only after New; shared by all shards
 	shards  []*shard
 	wg      sync.WaitGroup
 	batch   *batch
@@ -174,20 +185,38 @@ type shard struct {
 }
 
 // New builds an engine over the given up-front information (weights and
-// sizes), deriving priorities from hasher — typically hashpr.Mixer with a
-// shared seed — so every shard (and any serial replica given the same
-// seed) agrees on all priorities.
-func New(info core.Info, hasher hashpr.UniformHasher, cfg Config) (*Engine, error) {
-	if hasher == nil {
-		return nil, ErrNilHasher
+// sizes), resolving cfg.Policy through the core policy registry and
+// setting it up under seed. Every shard — and any serial or remote
+// replica running the same (policy, seed) pair — agrees on all decisions
+// without coordination.
+func New(info core.Info, seed uint64, cfg Config) (*Engine, error) {
+	pol, err := core.LookupPolicy(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return NewWithPolicy(info, pol, seed, cfg)
+}
+
+// NewWithPolicy is New for callers that inject a Policy value directly
+// instead of naming a registered one — custom hash families, experimental
+// policies not in the registry. cfg.Policy is ignored; the engine reports
+// pol.Name().
+func NewWithPolicy(info core.Info, pol core.Policy, seed uint64, cfg Config) (*Engine, error) {
+	if pol == nil {
+		return nil, ErrNilPolicy
+	}
+	state, err := pol.Setup(info, seed)
+	if err != nil {
+		return nil, fmt.Errorf("engine: setup policy %s: %w", pol.Name(), err)
 	}
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:    cfg,
-		info:   info,
-		prio:   core.HashPriorities(info, hasher, nil),
-		shards: make([]*shard, cfg.Shards),
-		batch:  new(batch),
+		cfg:     cfg,
+		info:    info,
+		policy:  pol.Name(),
+		decider: state,
+		shards:  make([]*shard, cfg.Shards),
+		batch:   new(batch),
 	}
 	// Pre-fill the free list with every batch that can be in flight at
 	// once: one per queue slot, one being processed per shard, one in the
@@ -212,8 +241,9 @@ func New(info core.Info, hasher hashpr.UniformHasher, cfg Config) (*Engine, erro
 }
 
 // run is the shard worker loop: decide every element of every inbound
-// batch with the pure randPr rule and count assignments locally. No locks,
-// no shared writes — only the amortized per-batch metrics publication.
+// batch with the policy's pure decide rule and count assignments locally.
+// No locks, no shared writes — only the amortized per-batch metrics
+// publication.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	for b := range s.in {
@@ -221,9 +251,9 @@ func (e *Engine) run(s *shard) {
 		var assigned, dropped uint64
 		for i := 0; i < n; i++ {
 			members := b.members[b.offs[i]:b.offs[i+1]]
-			// The batch buffer is engine-owned scratch, so the kernel may
+			// The batch buffer is engine-owned scratch, so the policy may
 			// reorder it in place — no per-element copy on the hot path.
-			choice := core.SelectTopPriorityInPlace(members, int(b.caps[i]), e.prio)
+			choice := e.decider.DecideInPlace(members, int(b.caps[i]))
 			for _, id := range choice {
 				s.assigned[id]++
 			}
@@ -317,11 +347,11 @@ func (e *Engine) flush() {
 
 // Drain closes the stream: it flushes the partial batch, stops all shard
 // workers and merges their bookkeeping into the final Result. The result
-// is bit-for-bit identical to core.Run with a HashRandPr sharing the
-// engine's hasher: assignment counts are exact integer sums, and the
-// completion sweep accumulates benefit in ascending SetID order exactly
-// like the serial runner. Drain is idempotent; subsequent Submits fail
-// with ErrDrained.
+// is bit-for-bit identical to core.Run with the policy's serial oracle
+// (core.PolicyAlgorithm under the engine's policy and seed): assignment
+// counts are exact integer sums, and the completion sweep accumulates
+// benefit in ascending SetID order exactly like the serial runner. Drain
+// is idempotent; subsequent Submits fail with ErrDrained.
 func (e *Engine) Drain() (*core.Result, error) {
 	if e.result != nil {
 		return e.result, nil
@@ -355,13 +385,17 @@ func (e *Engine) Drain() (*core.Result, error) {
 // goroutine at any time.
 func (e *Engine) State() State { return State(e.state.Load()) }
 
-// Priorities returns the engine's shared hash-derived priority vector.
-// The slice is read-only after New — callers must not modify it. Replicas
-// (HTTP handlers answering immediate admit/drop verdicts, remote mirrors
-// given the same seed) can decide any element with
-// core.SelectTopPriority over this vector and agree element-for-element
-// with the engine's shards, with zero coordination (Section 3.1).
-func (e *Engine) Priorities() []float64 { return e.prio }
+// Policy returns the engine's frozen policy state. It is read-only after
+// New and safe for concurrent use. Replicas (HTTP handlers answering
+// immediate admit/drop verdicts, remote mirrors running the same policy
+// and seed) can decide any element with its Decide method and agree
+// element-for-element with the engine's shards, with zero coordination
+// (Section 3.1, generalized by the policy contract).
+func (e *Engine) Policy() core.PolicyState { return e.decider }
+
+// PolicyName returns the resolved registry name of the engine's policy
+// ("randpr" for the default), echoed in API responses and metrics.
+func (e *Engine) PolicyName() string { return e.policy }
 
 // Metrics returns the engine's live counters. Safe to read concurrently
 // with the stream.
@@ -372,12 +406,22 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 
 // Replay streams a whole instance through a fresh engine and returns the
 // final result — the concurrent counterpart of core.Run(inst,
-// HashRandPr{hasher}, nil). Elements are copied at Submit, so the instance
-// is never aliased by the engine. If a Submit fails mid-stream, the engine
-// is still drained to stop the shard workers and the submit and drain
-// errors are joined.
-func Replay(inst *setsystem.Instance, hasher hashpr.UniformHasher, cfg Config) (*core.Result, error) {
-	e, err := New(core.InfoOf(inst), hasher, cfg)
+// &core.PolicyAlgorithm{Policy: cfg.Policy, Seed: seed}, nil). Elements
+// are copied at Submit, so the instance is never aliased by the engine.
+// If a Submit fails mid-stream, the engine is still drained to stop the
+// shard workers and the submit and drain errors are joined.
+func Replay(inst *setsystem.Instance, seed uint64, cfg Config) (*core.Result, error) {
+	pol, err := core.LookupPolicy(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return ReplayWithPolicy(inst, pol, seed, cfg)
+}
+
+// ReplayWithPolicy is Replay with a directly injected Policy value (see
+// NewWithPolicy).
+func ReplayWithPolicy(inst *setsystem.Instance, pol core.Policy, seed uint64, cfg Config) (*core.Result, error) {
+	e, err := NewWithPolicy(core.InfoOf(inst), pol, seed, cfg)
 	if err != nil {
 		return nil, err
 	}

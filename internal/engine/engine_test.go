@@ -60,7 +60,7 @@ func TestEngineMatchesSerialProperty(t *testing.T) {
 		want := serial(t, inst, seed)
 		shards := shardCounts[trial%len(shardCounts)]
 		batch := batchSizes[trial%len(batchSizes)]
-		got, err := Replay(inst, hashpr.Mixer{Seed: seed}, Config{Shards: shards, BatchSize: batch})
+		got, err := Replay(inst, seed, Config{Shards: shards, BatchSize: batch})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestEngineMatchesSerialOnScenarios(t *testing.T) {
 	} {
 		for _, shards := range []int{1, 4} {
 			want := serial(t, tc.inst, 42)
-			got, err := Replay(tc.inst, hashpr.Mixer{Seed: 42}, Config{Shards: shards, BatchSize: 16})
+			got, err := Replay(tc.inst, 42, Config{Shards: shards, BatchSize: 16})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +117,7 @@ func TestEngineWithPolyFamilyHasher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(inst, pf, Config{Shards: 4})
+	got, err := ReplayWithPolicy(inst, core.RandPrPolicy{Hasher: pf}, 0, Config{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestEngineWithPolyFamilyHasher(t *testing.T) {
 
 func TestSubmitDrainLifecycle(t *testing.T) {
 	info := core.Info{Weights: []float64{2, 3}, Sizes: []int{1, 2}}
-	e, err := New(info, hashpr.Mixer{Seed: 1}, Config{Shards: 2, BatchSize: 1})
+	e, err := New(info, 1, Config{Shards: 2, BatchSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestSubmitDrainLifecycle(t *testing.T) {
 // and Drain is terminal.
 func TestLifecycleStates(t *testing.T) {
 	info := core.Info{Weights: []float64{2, 3}, Sizes: []int{1, 2}}
-	e, err := New(info, hashpr.Mixer{Seed: 1}, Config{Shards: 2, BatchSize: 1})
+	e, err := New(info, 1, Config{Shards: 2, BatchSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,25 +197,32 @@ func TestLifecycleStates(t *testing.T) {
 	}
 }
 
-// TestPrioritiesSharedWithSerial pins the Priorities accessor: deciding an
-// element with core.SelectTopPriority over the engine's vector reproduces
-// the shard decision, which is what the HTTP layer's immediate verdicts
-// depend on.
-func TestPrioritiesSharedWithSerial(t *testing.T) {
+// TestPolicyStateSharedWithSerial pins the Policy accessor: deciding an
+// element with the engine's frozen policy state reproduces the serial
+// replica's decision (core.SelectTopPriority over independently derived
+// priorities), which is what the HTTP layer's immediate verdicts depend
+// on.
+func TestPolicyStateSharedWithSerial(t *testing.T) {
 	info := core.Info{Weights: []float64{1, 2, 3}, Sizes: []int{1, 1, 1}}
-	e, err := New(info, hashpr.Mixer{Seed: 7}, Config{Shards: 1})
+	e, err := New(info, 7, Config{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Drain()
-	want := core.HashPriorities(info, hashpr.Mixer{Seed: 7}, nil)
-	got := e.Priorities()
+	if got := e.PolicyName(); got != core.DefaultPolicy {
+		t.Errorf("PolicyName() = %q, want %q", got, core.DefaultPolicy)
+	}
+	prio := core.HashPriorities(info, hashpr.Mixer{Seed: 7}, nil)
+	members := []setsystem.SetID{0, 1, 2}
+	want := core.SelectTopPriority(members, 2, prio, nil)
+	got := e.Policy().Decide(members, 2, nil)
 	if len(got) != len(want) {
-		t.Fatalf("len(Priorities()) = %d, want %d", len(got), len(want))
+		t.Fatalf("Decide chose %v, serial replica chose %v", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Errorf("priority[%d] = %v, want %v", i, got[i], want[i])
+			t.Errorf("Decide chose %v, serial replica chose %v", got, want)
+			break
 		}
 	}
 }
@@ -231,7 +238,7 @@ func TestSubmitValidatedMatchesSubmit(t *testing.T) {
 	}
 	want := serial(t, inst, 13)
 
-	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 13}, Config{Shards: 3, BatchSize: 16})
+	e, err := New(core.InfoOf(inst), 13, Config{Shards: 3, BatchSize: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +262,7 @@ func TestSubmitValidatedMatchesSubmit(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	info := core.Info{Weights: []float64{1, 1}, Sizes: []int{1, 1}}
-	e, err := New(info, hashpr.Mixer{}, Config{Shards: 1})
+	e, err := New(info, 0, Config{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,14 +282,14 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
-func TestNewRejectsNilHasher(t *testing.T) {
-	if _, err := New(core.Info{}, nil, Config{}); err != ErrNilHasher {
-		t.Errorf("New(nil hasher) = %v, want ErrNilHasher", err)
+func TestNewRejectsNilPolicy(t *testing.T) {
+	if _, err := NewWithPolicy(core.Info{}, nil, 0, Config{}); err != ErrNilPolicy {
+		t.Errorf("NewWithPolicy(nil policy) = %v, want ErrNilPolicy", err)
 	}
 }
 
 func TestConfigDefaults(t *testing.T) {
-	e, err := New(core.Info{Weights: []float64{1}, Sizes: []int{1}}, hashpr.Mixer{}, Config{})
+	e, err := New(core.Info{Weights: []float64{1}, Sizes: []int{1}}, 0, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +310,7 @@ func TestBackpressureLosesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 3}, Config{Shards: 2, BatchSize: 4, QueueDepth: 1})
+	e, err := New(core.InfoOf(inst), 3, Config{Shards: 2, BatchSize: 4, QueueDepth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +334,7 @@ func TestMetricsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 9}, Config{Shards: 2, BatchSize: 8})
+	e, err := New(core.InfoOf(inst), 9, Config{Shards: 2, BatchSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +377,7 @@ func TestConcurrentMetricsReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(core.InfoOf(inst), hashpr.Mixer{Seed: 17}, Config{Shards: 4, BatchSize: 16, QueueDepth: 2})
+	e, err := New(core.InfoOf(inst), 17, Config{Shards: 4, BatchSize: 16, QueueDepth: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

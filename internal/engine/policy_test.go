@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// TestPolicyDeterminismAcrossShards is the policy-conformance suite: every
+// registered policy, run through the sharded engine at shards 1, 2, 4 and
+// 8, must produce a Result bit-for-bit equal (core.Result.Equal) to the
+// serial oracle core.Run with the matching PolicyAlgorithm — the seed
+// contract of DESIGN.md §11 made executable. CI runs this under -race.
+func TestPolicyDeterminismAcrossShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	inst, err := workload.Uniform(workload.UniformConfig{
+		M: 80, N: 4000, Load: 6, Capacity: 2,
+		WeightFn: func(i int) float64 { return 1 + float64(i%9) },
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 20100727
+	for _, name := range core.PolicyNames() {
+		pol, err := core.LookupPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Run(inst, &core.PolicyAlgorithm{Policy: pol, Seed: seed}, nil)
+		if err != nil {
+			t.Fatalf("%s: serial oracle: %v", name, err)
+		}
+		for _, shards := range []int{1, 2, 4, 8} {
+			got, err := Replay(inst, seed, Config{Shards: shards, BatchSize: 32, Policy: name})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s shards=%d: engine benefit %v differs from serial oracle %v",
+					name, shards, got.Benefit, want.Benefit)
+			}
+		}
+	}
+}
+
+// TestPolicyDeterminismOnScenarios repeats the conformance check on the
+// structured workloads ospserve serves, at a shard count that forces
+// cross-shard merging.
+func TestPolicyDeterminismOnScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	video, err := workload.Video(workload.VideoConfig{Streams: 10, FramesPerStream: 8, Jitter: 2, LinkCapacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multihop, err := workload.Multihop(workload.MultihopConfig{Hops: 5, Packets: 80, Horizon: 12}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := map[string]*setsystem.Instance{
+		"video":    video.Inst,
+		"multihop": multihop.Inst,
+	}
+	for scenario, inst := range scenarios {
+		for _, name := range core.PolicyNames() {
+			pol, err := core.LookupPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Run(inst, &core.PolicyAlgorithm{Policy: pol, Seed: 99}, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: serial oracle: %v", scenario, name, err)
+			}
+			got, err := Replay(inst, 99, Config{Shards: 4, BatchSize: 16, Policy: name})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", scenario, name, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s/%s: engine differs from serial oracle", scenario, name)
+			}
+		}
+	}
+}
+
+// TestNewRejectsUnknownPolicy pins the registry error path at engine
+// construction — the counterpart of the API-layer 400.
+func TestNewRejectsUnknownPolicy(t *testing.T) {
+	info := core.Info{Weights: []float64{1}, Sizes: []int{1}}
+	if _, err := New(info, 1, Config{Policy: "no-such-policy"}); !errors.Is(err, core.ErrUnknownPolicy) {
+		t.Errorf("New(unknown policy) = %v, want core.ErrUnknownPolicy", err)
+	}
+	inst := &setsystem.Instance{Weights: []float64{1}, Sizes: []int{1}}
+	if _, err := Replay(inst, 1, Config{Policy: "no-such-policy"}); !errors.Is(err, core.ErrUnknownPolicy) {
+		t.Errorf("Replay(unknown policy) = %v, want core.ErrUnknownPolicy", err)
+	}
+}
+
+// TestEnginePolicyNameResolved pins the empty-name default and the echo of
+// an explicit choice.
+func TestEnginePolicyNameResolved(t *testing.T) {
+	info := core.Info{Weights: []float64{1}, Sizes: []int{1}}
+	e, err := New(info, 1, Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Drain()
+	if got := e.PolicyName(); got != core.DefaultPolicy {
+		t.Errorf("PolicyName() = %q, want %q", got, core.DefaultPolicy)
+	}
+	ff, err := New(info, 1, Config{Shards: 1, Policy: "first-fit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff.Drain()
+	if got := ff.PolicyName(); got != "first-fit" {
+		t.Errorf("PolicyName() = %q, want first-fit", got)
+	}
+}
+
+// TestSteadyStateZeroAllocAllVectorPolicies extends the zero-allocation
+// guarantee beyond the default policy: every built-in rides either the
+// shared vector kernel or the trivial first-fit prefix, so none may
+// allocate per element once buffers reach their high-water mark.
+func TestSteadyStateZeroAllocAllVectorPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 100, N: 4000, Load: 6, Capacity: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchSize = 64
+	for _, name := range core.PolicyNames() {
+		e, err := New(core.InfoOf(inst), 5, Config{Shards: 2, BatchSize: batchSize, QueueDepth: 4, Policy: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, el := range inst.Elements[:2048] {
+			if err := e.Submit(el); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rest := inst.Elements[2048:]
+		pos := 0
+		allocs := testing.AllocsPerRun(20, func() {
+			for i := 0; i < batchSize; i++ {
+				if err := e.Submit(rest[pos%len(rest)]); err != nil {
+					t.Fatal(err)
+				}
+				pos++
+			}
+		})
+		if perElement := allocs / batchSize; perElement != 0 {
+			t.Errorf("%s: steady-state ingestion %v allocs/element, want 0", name, perElement)
+		}
+		e.Drain()
+	}
+}

@@ -33,6 +33,11 @@ type RegisterRequest struct {
 	Shards     int `json:"shards,omitempty"`
 	BatchSize  int `json:"batch_size,omitempty"`
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// Policy names the admission policy the instance's engine runs; ""
+	// means the default "randpr". Unknown names are rejected with 400;
+	// the registered names are in the error message and documented in
+	// docs/OPERATIONS.md.
+	Policy string `json:"policy,omitempty"`
 	// Label is an optional free-form tag echoed as the "label" label on
 	// the instance's /metrics series.
 	Label string `json:"label,omitempty"`
@@ -45,6 +50,9 @@ type RegisterResponse struct {
 	ID string `json:"id"`
 	// Shards is the resolved shard-worker count.
 	Shards int `json:"shards"`
+	// Policy is the resolved admission-policy name ("randpr" when the
+	// request left it empty).
+	Policy string `json:"policy"`
 	// State is the lifecycle state, "idle" at registration.
 	State string `json:"state"`
 }
@@ -156,10 +164,12 @@ type DrainResponse struct {
 // InstanceStatus is one instance's row in GET /v1/instances and the body
 // of GET /v1/instances/{id}.
 type InstanceStatus struct {
-	ID     string `json:"id"`
-	Label  string `json:"label,omitempty"`
-	State  string `json:"state"`
-	Seed   uint64 `json:"seed"`
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+	State string `json:"state"`
+	Seed  uint64 `json:"seed"`
+	// Policy is the instance's resolved admission-policy name.
+	Policy string `json:"policy"`
 	Shards int    `json:"shards"`
 	// Sets is m, the number of sets in the instance's universe.
 	Sets    int             `json:"sets"`

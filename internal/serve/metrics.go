@@ -85,6 +85,14 @@ func writeMetrics(w io.Writer, p *Pool) {
 		fmt.Fprintf(w, "osp_instance_state{%s,state=%q} 1\n", labels[i], in.State().String())
 	}
 
+	// Policy is an info gauge for the same reason state is: a label on the
+	// counters would split every series if policies ever became mutable.
+	fmt.Fprintf(w, "# HELP osp_instance_policy Admission policy of each instance (1 on the policy's series).\n")
+	fmt.Fprintf(w, "# TYPE osp_instance_policy gauge\n")
+	for i, in := range instances {
+		fmt.Fprintf(w, "osp_instance_policy{%s,policy=%q} 1\n", labels[i], in.Policy())
+	}
+
 	for _, def := range perInstanceMetrics {
 		fmt.Fprintf(w, "# HELP %s %s\n", def.name, def.help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", def.name, def.kind)

@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 )
 
@@ -26,7 +25,8 @@ var (
 )
 
 // Spec describes one instance registration: the up-front information, the
-// shared priority seed, engine sizing and an optional metrics label.
+// shared policy seed, engine sizing plus admission-policy name
+// (Engine.Policy, "" = randpr), and an optional metrics label.
 type Spec struct {
 	Info   core.Info
 	Seed   uint64
@@ -55,8 +55,12 @@ func (in *Instance) ID() string { return in.id }
 // Label returns the metrics label supplied at registration ("" if none).
 func (in *Instance) Label() string { return in.label }
 
-// Seed returns the shared priority seed.
+// Seed returns the shared policy seed.
 func (in *Instance) Seed() uint64 { return in.seed }
+
+// Policy returns the resolved admission-policy name of the instance's
+// engine ("randpr" for the default).
+func (in *Instance) Policy() string { return in.eng.PolicyName() }
 
 // State returns the engine's lifecycle state.
 func (in *Instance) State() engine.State { return in.eng.State() }
@@ -77,6 +81,7 @@ func (in *Instance) Status() InstanceStatus {
 		Label:   in.label,
 		State:   in.State().String(),
 		Seed:    in.seed,
+		Policy:  in.Policy(),
 		Shards:  in.Shards(),
 		Sets:    in.NumSets(),
 		Metrics: wireSnapshot(in.Snapshot()),
@@ -124,16 +129,17 @@ func (in *Instance) Drain() (*core.Result, error) {
 
 // Verdicts computes the immediate admit/drop verdict for every element of
 // a batch: the engine's shards will reach — or have reached — exactly the
-// same decisions, because the faithful randPr rule depends only on the
-// element and the fixed hash-derived priority vector (Section 3.1). The
-// computation is pure and runs outside the instance lock, so concurrent
-// verdict requests never contend with ingestion.
+// same decisions, because every policy's decide rule depends only on the
+// element and the frozen per-instance policy state (Section 3.1,
+// generalized by the policy contract). The computation is pure and runs
+// outside the instance lock, so concurrent verdict requests never contend
+// with ingestion.
 func (in *Instance) Verdicts(els []setsystem.Element) []Verdict {
-	prio := in.eng.Priorities()
+	dec := in.eng.Policy()
 	verdicts := make([]Verdict, len(els))
 	var buf []setsystem.SetID
 	for i, el := range els {
-		buf = core.SelectTopPriority(el.Members, el.Capacity, prio, buf)
+		buf = dec.Decide(el.Members, el.Capacity, buf)
 		admitted := append([]setsystem.SetID(nil), buf...)
 		verdicts[i] = Verdict{Admitted: admitted, Dropped: droppedOf(el.Members, admitted)}
 	}
@@ -195,7 +201,7 @@ func (p *Pool) Register(spec Spec) (*Instance, error) {
 	id := "i-" + strconv.Itoa(p.nextID)
 	p.mu.Unlock()
 
-	eng, err := engine.New(spec.Info, hashpr.Mixer{Seed: spec.Seed}, spec.Engine)
+	eng, err := engine.New(spec.Info, spec.Seed, spec.Engine)
 	if err != nil {
 		return nil, err
 	}

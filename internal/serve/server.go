@@ -198,6 +198,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "register: queue_depth %d out of range [0, %d]", req.QueueDepth, maxQueueDepth)
 		return
 	}
+	// Resolve the policy name up front so an unknown name 400s with the
+	// registered alternatives before any engine resources are sized.
+	if _, err := core.LookupPolicy(req.Policy); err != nil {
+		writeError(w, http.StatusBadRequest, "register: %v", err)
+		return
+	}
 	resolved := engine.Config{
 		Shards: req.Shards, BatchSize: req.BatchSize, QueueDepth: req.QueueDepth,
 	}.Resolved()
@@ -216,6 +222,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Seed: req.Seed,
 		Engine: engine.Config{
 			Shards: req.Shards, BatchSize: req.BatchSize, QueueDepth: req.QueueDepth,
+			Policy: req.Policy,
 		},
 		Label: req.Label,
 	})
@@ -231,7 +238,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, RegisterResponse{
-		ID: in.ID(), Shards: in.Shards(), State: in.State().String(),
+		ID: in.ID(), Shards: in.Shards(), Policy: in.Policy(), State: in.State().String(),
 	})
 }
 

@@ -6,9 +6,10 @@
 // The protocol mirrors the OSP model: Register ships only the up-front
 // information — per-set weights and declared sizes plus the shared
 // priority seed — then elements stream in batches, each answered with
-// the verdict the engine's coordination-free randPr rule reached. The
-// drained Result is bit-for-bit identical to a serial
-// osp.Run(inst, osp.NewHashRandPr(seed), nil) over the same elements,
+// the verdict the engine's coordination-free admission policy reached.
+// The drained Result is bit-for-bit identical to a serial osp.Run with
+// the matching osp.NewPolicyAlgorithm(policy, seed) over the same
+// elements — osp.NewHashRandPr(seed) for the default randpr policy —
 // which is how cmd/osploadgen verifies a live server. The HTTP API and
 // its operational semantics are documented in docs/OPERATIONS.md.
 //
@@ -88,11 +89,13 @@ type Spec struct {
 	// Info is the up-front information: per-set weights and declared
 	// sizes — all an online algorithm may know before the stream.
 	Info osp.Info
-	// Seed is the shared 64-bit priority seed; a serial
-	// osp.NewHashRandPr(Seed) run is the verification oracle.
+	// Seed is the shared 64-bit policy seed; a serial osp.Run with
+	// osp.NewPolicyAlgorithm(Engine.Policy, Seed) is the verification
+	// oracle (osp.NewHashRandPr(Seed) for the default randpr policy).
 	Seed uint64
-	// Engine sizes the server-side engine; zero fields take the engine
-	// defaults.
+	// Engine sizes the server-side engine and names its admission policy
+	// (Engine.Policy, "" = the server default "randpr"; valid names are
+	// osp.PolicyNames()). Zero fields take the engine defaults.
 	Engine osp.EngineConfig
 	// Label optionally tags the instance's Prometheus series.
 	Label string
@@ -143,8 +146,10 @@ type Status struct {
 	Label string `json:"label,omitempty"`
 	// State is the lifecycle state: "idle", "streaming" or "drained".
 	State string `json:"state"`
-	// Seed is the shared priority seed.
+	// Seed is the shared policy seed.
 	Seed uint64 `json:"seed"`
+	// Policy is the instance's resolved admission-policy name.
+	Policy string `json:"policy"`
 	// Shards is the resolved shard-worker count.
 	Shards int `json:"shards"`
 	// Sets is m, the number of sets in the instance's universe.
@@ -158,6 +163,7 @@ type Instance struct {
 	c      *Client
 	id     string
 	shards int
+	policy string
 }
 
 // wire shapes (mirroring internal/serve; the contract is the JSON).
@@ -173,12 +179,14 @@ type registerRequest struct {
 	Shards     int       `json:"shards,omitempty"`
 	BatchSize  int       `json:"batch_size,omitempty"`
 	QueueDepth int       `json:"queue_depth,omitempty"`
+	Policy     string    `json:"policy,omitempty"`
 	Label      string    `json:"label,omitempty"`
 }
 
 type registerResponse struct {
 	ID     string `json:"id"`
 	Shards int    `json:"shards"`
+	Policy string `json:"policy"`
 	State  string `json:"state"`
 }
 
@@ -262,13 +270,14 @@ func (c *Client) Register(ctx context.Context, spec Spec) (*Instance, error) {
 		Shards:     spec.Engine.Shards,
 		BatchSize:  spec.Engine.BatchSize,
 		QueueDepth: spec.Engine.QueueDepth,
+		Policy:     spec.Engine.Policy,
 		Label:      spec.Label,
 	}
 	var resp registerResponse
 	if err := c.doJSON(ctx, "POST", "/v1/instances", req, &resp); err != nil {
 		return nil, err
 	}
-	return &Instance{c: c, id: resp.ID, shards: resp.Shards}, nil
+	return &Instance{c: c, id: resp.ID, shards: resp.Shards, policy: resp.Policy}, nil
 }
 
 // Instances lists every instance on the server with live metrics.
@@ -325,6 +334,10 @@ func (in *Instance) ID() string { return in.id }
 // Shards returns the resolved shard-worker count of the server-side
 // engine.
 func (in *Instance) Shards() int { return in.shards }
+
+// Policy returns the resolved admission-policy name of the server-side
+// engine ("randpr" when the registration left it empty).
+func (in *Instance) Policy() string { return in.policy }
 
 // Ingest streams one batch of elements in arrival order and returns the
 // immediate admit/drop verdict for each. Batches are atomic: on any

@@ -61,6 +61,9 @@ func TestClientRoundTrip(t *testing.T) {
 	if h.ID() == "" || h.Shards() != 2 {
 		t.Fatalf("handle = id %q, %d shards", h.ID(), h.Shards())
 	}
+	if h.Policy() != osp.DefaultPolicy {
+		t.Fatalf("handle policy = %q, want the resolved default %q", h.Policy(), osp.DefaultPolicy)
+	}
 
 	var admitted, dropped int
 	const batch = 64
@@ -92,6 +95,9 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 	if st.Label != "round-trip" || st.Seed != seed || st.Sets != inst.NumSets() {
 		t.Errorf("status = %+v", st)
+	}
+	if st.Policy != osp.DefaultPolicy {
+		t.Errorf("status policy = %q, want %q", st.Policy, osp.DefaultPolicy)
 	}
 
 	res, err := h.Drain(ctx)
@@ -140,6 +146,62 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 	if _, err := h.Status(ctx); !isStatus(err, 404) {
 		t.Errorf("status after remove = %v, want 404 APIError", err)
+	}
+}
+
+// TestClientPolicySelection registers each non-default built-in policy
+// over the wire, checks the resolved name round-trips through handle and
+// status, and verifies the drained result against that policy's serial
+// oracle end to end.
+func TestClientPolicySelection(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t)
+	const seed = 23
+	inst := uniform(t, 25, 500, 3, 5)
+
+	for _, name := range osp.PolicyNames() {
+		h, err := c.Register(ctx, client.Spec{
+			Info: osp.InfoOf(inst), Seed: seed,
+			Engine: osp.EngineConfig{Shards: 2, BatchSize: 16, Policy: name},
+			Label:  name,
+		})
+		if err != nil {
+			t.Fatalf("%s: register: %v", name, err)
+		}
+		if h.Policy() != name {
+			t.Errorf("%s: handle policy = %q", name, h.Policy())
+		}
+		if _, err := h.Ingest(ctx, inst.Elements); err != nil {
+			t.Fatalf("%s: ingest: %v", name, err)
+		}
+		res, err := h.Drain(ctx)
+		if err != nil {
+			t.Fatalf("%s: drain: %v", name, err)
+		}
+		alg, err := osp.NewPolicyAlgorithm(name, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := osp.Run(inst, alg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(serial) {
+			t.Errorf("%s: drained result differs from serial oracle (%v vs %v)",
+				name, res.Benefit, serial.Benefit)
+		}
+	}
+
+	// Unknown policy → 400 with the registered names in the message.
+	_, err := c.Register(ctx, client.Spec{
+		Info: osp.InfoOf(inst), Engine: osp.EngineConfig{Policy: "bogus"},
+	})
+	if !isStatus(err, 400) {
+		t.Errorf("bogus policy register = %v, want 400 APIError", err)
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && !strings.Contains(apiErr.Message, osp.DefaultPolicy) {
+		t.Errorf("400 body should list registered policies: %s", apiErr.Message)
 	}
 }
 

@@ -78,12 +78,16 @@ type (
 	Info = core.Info
 
 	// Engine is the sharded concurrent streaming admission engine: it
-	// serves a live element stream through coordination-free randPr
-	// priorities at multi-core throughput, with results bit-for-bit
-	// identical to a serial NewHashRandPr run under the same seed.
+	// serves a live element stream through a coordination-free admission
+	// policy (EngineConfig.Policy, randPr by default) at multi-core
+	// throughput, with results bit-for-bit identical to a serial run of
+	// NewPolicyAlgorithm under the same policy and seed —
+	// NewHashRandPr(seed) for the default policy.
 	Engine = engine.Engine
-	// EngineConfig sizes the engine: shard workers, ingestion batch size
-	// and per-shard queue depth (backpressure).
+	// EngineConfig sizes the engine — shard workers, ingestion batch size
+	// and per-shard queue depth (backpressure) — and names its admission
+	// policy (Policy field, "" = "randpr"; see PolicyNames for the
+	// registered names).
 	EngineConfig = engine.Config
 	// EngineMetrics exposes the engine's live lock-free counters.
 	EngineMetrics = engine.Metrics
@@ -121,24 +125,52 @@ func ComputeStats(inst *Instance) Stats { return setsystem.Compute(inst) }
 func InfoOf(inst *Instance) Info { return core.InfoOf(inst) }
 
 // NewEngine opens a sharded concurrent streaming engine over the given
-// up-front information, deriving every priority from the shared 64-bit
-// seed so shards — and any serial or remote replica given the same seed —
-// agree on all decisions without coordination (Section 3.1). Feed arriving
+// up-front information, running the admission policy named by cfg.Policy
+// ("" = "randpr") set up deterministically from the shared 64-bit seed,
+// so shards — and any serial or remote replica running the same (policy,
+// seed) pair — agree on all decisions without coordination (Section 3.1,
+// generalized by the policy contract in DESIGN.md §11). Feed arriving
 // elements with Engine.Submit and close the stream with Engine.Drain; the
-// drained Result is bit-for-bit identical to Run with NewHashRandPr(seed).
-// Submit copies each element's Members into the engine's flat batch
-// buffers immediately, so callers may reuse one scratch member slice for
-// every Submit; steady-state ingestion performs zero allocations per
-// element (the tracked baseline BENCH_1.json, regenerated by
-// cmd/ospperf, pins this along with the throughput matrix).
+// drained Result is bit-for-bit identical to Run with
+// NewPolicyAlgorithm(cfg.Policy, seed) — NewHashRandPr(seed) for the
+// default policy. Submit copies each element's Members into the engine's
+// flat batch buffers immediately, so callers may reuse one scratch member
+// slice for every Submit; steady-state ingestion performs zero
+// allocations per element (the tracked baseline BENCH_2.json,
+// regenerated by cmd/ospperf, pins this along with the throughput matrix
+// and the per-policy bench).
 func NewEngine(info Info, seed uint64, cfg EngineConfig) (*Engine, error) {
-	return engine.New(info, hashpr.Mixer{Seed: seed}, cfg)
+	return engine.New(info, seed, cfg)
 }
 
 // RunEngine streams a whole instance through a fresh engine — the
-// concurrent counterpart of Run(inst, NewHashRandPr(seed), nil).
+// concurrent counterpart of Run(inst, alg, nil) with the matching
+// NewPolicyAlgorithm.
 func RunEngine(inst *Instance, seed uint64, cfg EngineConfig) (*Result, error) {
-	return engine.Replay(inst, hashpr.Mixer{Seed: seed}, cfg)
+	return engine.Replay(inst, seed, cfg)
+}
+
+// PolicyNames returns the registered admission-policy names, sorted:
+// "first-fit", "greedy-remaining", "randpr" (the default) and
+// "randpr-weighted" as built-ins. Any of them is valid in
+// EngineConfig.Policy and in a service registration's policy field.
+func PolicyNames() []string { return core.PolicyNames() }
+
+// DefaultPolicy is the admission policy used when none is named: the
+// paper's randPr.
+const DefaultPolicy = core.DefaultPolicy
+
+// NewPolicyAlgorithm returns the serial oracle of the named admission
+// policy under seed: an Algorithm whose Run result is bit-for-bit
+// identical to a streaming-engine run of the same policy and seed at any
+// shard count. The empty name resolves to DefaultPolicy; unknown names
+// error with the registered alternatives.
+func NewPolicyAlgorithm(name string, seed uint64) (Algorithm, error) {
+	pol, err := core.LookupPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	return &core.PolicyAlgorithm{Policy: pol, Seed: seed}, nil
 }
 
 // Engine lifecycle states (see EngineState).
