@@ -12,6 +12,9 @@
 //	osploadgen -n 500000                 # no -addr: embeds a server in-process
 //	osploadgen -n 200000 -rate 0        # full speed, report the sustained rate
 //	osploadgen -policy first-fit -n 100000  # register a non-default policy
+//	osploadgen -codec json -n 200000    # force the JSON wire path (-codec binary forces binary)
+//	osploadgen -policy randpr-weighted -zipf 1.2  # skewed Zipf(1.2) set weights,
+//	                                    # where the weighted variant actually diverges
 package main
 
 import (
@@ -51,6 +54,8 @@ func run(args []string, w io.Writer) error {
 		batch    = fs.Int("batch", 1000, "elements per ingest request")
 		shards   = fs.Int("shards", 0, "server-side engine shards (0 = server default)")
 		policy   = fs.String("policy", "", "admission policy: "+strings.Join(osp.PolicyNames(), ", ")+` ("" = server default randpr)`)
+		codec    = fs.String("codec", "auto", "ingest wire codec: auto (binary with JSON fallback), json, binary")
+		zipf     = fs.Float64("zipf", 0, "Zipf exponent s for skewed set weights w(S_i) ∝ 1/(i+1)^s (0 = unit weights)")
 		label    = fs.String("label", "loadgen", "metrics label for the registered instance")
 		verify   = fs.Bool("verify", true, "cross-check the drained result against the policy's serial oracle")
 	)
@@ -60,9 +65,31 @@ func run(args []string, w io.Writer) error {
 	if *batch < 1 {
 		return fmt.Errorf("batch must be >= 1, got %d", *batch)
 	}
+	var wireCodec client.Codec
+	switch *codec {
+	case "auto":
+		wireCodec = client.CodecAuto
+	case "json":
+		wireCodec = client.CodecJSON
+	case "binary":
+		wireCodec = client.CodecBinary
+	default:
+		return fmt.Errorf("unknown codec %q (auto, json, binary)", *codec)
+	}
+	var weightFn func(i int) float64
+	if *zipf > 0 {
+		// The skewed-weight scenario: without it, randpr-weighted decides
+		// identically to randpr (unit weights scale priorities by a
+		// constant, preserving order), so weighted-variant comparisons
+		// need -zipf to be distinguishing.
+		weightFn = osp.ZipfWeights(*zipf, 10)
+	} else if *zipf < 0 {
+		return fmt.Errorf("zipf exponent must be >= 0, got %v", *zipf)
+	}
 
-	inst, err := osp.RandomInstance(osp.UniformConfig{M: *m, N: *n, Load: *load, Capacity: *capacity},
-		rand.New(rand.NewSource(*seed)))
+	inst, err := osp.RandomInstance(osp.UniformConfig{
+		M: *m, N: *n, Load: *load, Capacity: *capacity, WeightFn: weightFn,
+	}, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
@@ -81,7 +108,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	ctx := context.Background()
-	c, err := client.New(base)
+	c, err := client.New(base, client.WithCodec(wireCodec))
 	if err != nil {
 		return err
 	}
@@ -133,8 +160,8 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
-	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d requests)\n",
-		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches)
+	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d requests, codec %s)\n",
+		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches, h.Codec())
 	fmt.Fprintf(w, "verdicts: %d admitted, %d dropped memberships\n", admitted, dropped)
 	fmt.Fprintf(w, "goodput:  %d sets completed, weight %.1f of %.1f offered\n",
 		len(res.Completed), res.Benefit, inst.TotalWeight())

@@ -101,3 +101,71 @@ func TestLoadgenErrors(t *testing.T) {
 		t.Error("unreachable server accepted")
 	}
 }
+
+// TestLoadgenCodecs runs the generator once per forced codec and once in
+// auto mode; all three must verify against the serial oracle — the
+// "-verify passes over the new codec" acceptance — and report the codec
+// actually used.
+func TestLoadgenCodecs(t *testing.T) {
+	for _, tc := range []struct{ flag, want string }{
+		{"auto", "codec binary"}, // auto negotiates binary on our server
+		{"json", "codec json"},
+		{"binary", "codec binary"},
+	} {
+		var buf bytes.Buffer
+		err := run([]string{"-m", "30", "-n", "3000", "-load", "4", "-batch", "300",
+			"-seed", "11", "-codec", tc.flag}, &buf)
+		if err != nil {
+			t.Fatalf("codec %s: %v", tc.flag, err)
+		}
+		for _, frag := range []string{
+			tc.want,
+			"verify:   drained result bit-for-bit identical",
+		} {
+			if !strings.Contains(buf.String(), frag) {
+				t.Errorf("codec %s: output missing %q:\n%s", tc.flag, frag, buf.String())
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-codec", "bogus", "-n", "10"}, &buf); err == nil {
+		t.Error("bogus codec accepted")
+	}
+}
+
+// TestLoadgenZipfWeights runs the skewed-weight scenario: under Zipf
+// weights randpr-weighted must verify against ITS oracle, and its
+// benefit must diverge from plain randpr's on the same workload — the
+// distinguishing comparison unit weights cannot provide.
+func TestLoadgenZipfWeights(t *testing.T) {
+	goodput := func(policy string) string {
+		t.Helper()
+		var buf bytes.Buffer
+		err := run([]string{"-m", "30", "-n", "2000", "-load", "2", "-cap", "1",
+			"-batch", "250", "-seed", "3", "-zipf", "1.2", "-policy", policy}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "verify:   drained result bit-for-bit identical to serial "+policy+" oracle") {
+			t.Fatalf("%s: oracle check missing:\n%s", policy, out)
+		}
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "goodput:") {
+				return line
+			}
+		}
+		t.Fatalf("%s: no goodput line:\n%s", policy, out)
+		return ""
+	}
+	plain := goodput("randpr")
+	weighted := goodput("randpr-weighted")
+	if plain == weighted {
+		t.Errorf("zipf weights: randpr and randpr-weighted report identical goodput %q — the scenario is not distinguishing", plain)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-zipf", "-1", "-n", "10"}, &buf); err == nil {
+		t.Error("negative zipf exponent accepted")
+	}
+}

@@ -1,28 +1,34 @@
 // Command ospperf measures the admission hot path and emits the tracked
-// benchmark baseline (BENCH_2.json): ns/element and allocs/element for the
+// benchmark baseline (BENCH_3.json): ns/element and allocs/element for the
 // top-k decide kernel (against the sort-based path it replaced), the
-// serial runner, the streaming engine across a shard-count matrix, and —
-// since the policy-layer refactor — every registered admission policy
-// (ns/element, allocs/element, elements/sec, mean benefit on a fixed
-// workload). The per-policy rows prove the Policy abstraction did not
-// regress the randPr kernel against the pre-refactor BENCH_1.json.
+// serial runner, the streaming engine across a shard-count matrix (plus
+// an interface-dispatch row proving the VectorState fast path is ≥
+// neutral), every registered admission policy on both the uniform and
+// the skewed Zipf-weight workload, and — the service-level mode — the
+// full networked ingest path over an embedded HTTP server, JSON codec
+// versus the zero-allocation binary codec.
 //
 // Usage:
 //
-//	ospperf                       # full matrix, writes BENCH_2.json
+//	ospperf                       # full matrix, writes BENCH_3.json
 //	ospperf -quick -out /dev/null # CI smoke sizes
 //	ospperf -failonalloc          # exit 1 on any allocs/element > 0
 //
 // The JSON is the regression contract: future PRs rerun ospperf and
-// compare. CI runs the -quick -failonalloc mode on every push.
+// compare (engine rows must stay within noise of BENCH_2.json; the
+// binary service rows anchor the wire-path win). CI runs the -quick
+// -failonalloc mode on every push and uploads the artifact.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -34,20 +40,31 @@ import (
 	"repro/internal/hashpr"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
+	"repro/osp"
+	"repro/osp/client"
 )
 
-// Report is the schema of BENCH_2.json (a superset of BENCH_1.json's:
-// the policies section is new).
+// Report is the schema of BENCH_3.json (a superset of BENCH_2.json's:
+// engine_interface, the per-policy workload column and the service
+// section are new).
 type Report struct {
-	Bench         string        `json:"bench"`
-	GeneratedUnix int64         `json:"generated_unix"`
-	GoVersion     string        `json:"go_version"`
-	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Quick         bool          `json:"quick"`
-	Decide        DecideBench   `json:"decide"`
-	Serial        SerialBench   `json:"serial"`
-	Engine        []ShardBench  `json:"engine"`
-	Policies      []PolicyBench `json:"policies"`
+	Bench         string       `json:"bench"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Quick         bool         `json:"quick"`
+	Decide        DecideBench  `json:"decide"`
+	Serial        SerialBench  `json:"serial"`
+	Engine        []ShardBench `json:"engine"`
+	// EngineInterface re-runs the shards=4 engine row with the policy
+	// state hidden behind an opaque wrapper, forcing interface dispatch
+	// in the shard loop — the "before" of the VectorState fast-path
+	// comparison (the engine rows above are the "after").
+	EngineInterface ShardBench    `json:"engine_interface"`
+	Policies        []PolicyBench `json:"policies"`
+	// Service is the end-to-end networked ingest path (embedded HTTP
+	// server, real client, loopback TCP), one row per wire codec.
+	Service []ServiceBench `json:"service"`
 }
 
 // DecideBench is the capacity<=8 selection microbenchmark: the new
@@ -79,17 +96,40 @@ type ShardBench struct {
 }
 
 // PolicyBench is one registered admission policy streamed through the
-// engine on the matrix workload: end-to-end timing, the steady-state
+// engine on one workload: end-to-end timing, the steady-state
 // allocation probe, and the mean benefit over a handful of seeds of the
 // policy's serial oracle (deterministic policies repeat one value).
+// Workload "uniform" is the unit-weight matrix workload; "zipf" is the
+// skewed-weight scenario (w(S_i) ∝ 1/(i+1)^1.2) where randpr-weighted
+// actually diverges from randpr — on unit weights the two decide
+// identically, so only the zipf rows distinguish them.
 type PolicyBench struct {
 	Policy           string  `json:"policy"`
+	Workload         string  `json:"workload"`
 	Shards           int     `json:"shards"`
 	Elements         int     `json:"elements"`
 	NsPerElement     float64 `json:"ns_per_element"`
 	ElementsPerSec   float64 `json:"elements_per_sec"`
 	AllocsPerElement float64 `json:"allocs_per_element"`
 	MeanBenefit      float64 `json:"mean_benefit"`
+}
+
+// ServiceBench is the networked ingest path under one wire codec: the
+// matrix workload streamed through a real HTTP server on a loopback
+// socket via osp/client, timed end to end (register, batched ingest
+// with verdicts, drain). AllocsPerElement is process-wide — client
+// encode + server decode + verdict paths together — so it bounds the
+// serve-side number from above; the serve package's alloc-regression
+// test pins the decode path itself at 0. SpeedupVsJSON is filled on
+// non-JSON rows.
+type ServiceBench struct {
+	Codec            string  `json:"codec"`
+	Elements         int     `json:"elements"`
+	Batch            int     `json:"batch"`
+	NsPerElement     float64 `json:"ns_per_element"`
+	ElementsPerSec   float64 `json:"elements_per_sec"`
+	AllocsPerElement float64 `json:"allocs_per_element"`
+	SpeedupVsJSON    float64 `json:"speedup_vs_json,omitempty"`
 }
 
 func main() {
@@ -102,12 +142,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospperf", flag.ContinueOnError)
 	var (
-		out         = fs.String("out", "BENCH_2.json", "output JSON path (- prints the JSON to stdout)")
+		out         = fs.String("out", "BENCH_3.json", "output JSON path (- prints the JSON to stdout)")
 		shardsFlag  = fs.String("shards", "1,2,4,8", "comma-separated shard counts for the engine matrix")
 		quick       = fs.Bool("quick", false, "small sizes for a CI smoke pass")
 		reps        = fs.Int("reps", 3, "timed repetitions per cell (best-of)")
 		seed        = fs.Int64("seed", 1, "workload generation seed")
-		failOnAlloc = fs.Bool("failonalloc", false, "exit nonzero if any steady-state allocs/element > 0")
+		failOnAlloc = fs.Bool("failonalloc", false, "exit nonzero if any steady-state allocs/element > 0 (service rows excluded: they include client-side JSON marshal)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +179,17 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Skewed-weight companion workload: same shape, Zipf(1.2) weights.
+	// Unit weights make randpr-weighted decide identically to randpr
+	// (scaling priorities by a constant preserves order), so only this
+	// workload separates the weighted variant's policy rows.
+	zipfInst, err := workload.Uniform(workload.UniformConfig{
+		M: m, N: n, Load: 12, MinLoad: 4, Capacity: 4,
+		WeightFn: workload.ZipfWeights(1.2, 10),
+	}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
 
 	rep.Decide, err = benchDecide(*quick, *reps, *seed)
 	if err != nil {
@@ -160,14 +211,51 @@ func run(args []string, w io.Writer) error {
 			sb.Shards, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
 	}
 
-	for _, name := range core.PolicyNames() {
-		pb, err := benchPolicy(inst, name, *reps, *seed)
+	rep.EngineInterface, err = benchEngineInterface(inst, *reps, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "engine shards=%d (interface dispatch): %.1f ns/element, %.0f elements/s, allocs/element %.3f\n",
+		rep.EngineInterface.Shards, rep.EngineInterface.NsPerElement,
+		rep.EngineInterface.ElementsPerSec, rep.EngineInterface.AllocsPerElement)
+
+	for _, wl := range []struct {
+		name string
+		inst *setsystem.Instance
+	}{{"uniform", inst}, {"zipf", zipfInst}} {
+		for _, name := range core.PolicyNames() {
+			pb, err := benchPolicy(wl.inst, wl.name, name, *reps, *seed)
+			if err != nil {
+				return err
+			}
+			rep.Policies = append(rep.Policies, pb)
+			fmt.Fprintf(w, "policy %s (%s): %.1f ns/element, %.0f elements/s, allocs/element %.3f, mean benefit %.1f\n",
+				pb.Policy, pb.Workload, pb.NsPerElement, pb.ElementsPerSec, pb.AllocsPerElement, pb.MeanBenefit)
+		}
+	}
+
+	svcBatch := 4096
+	if *quick {
+		svcBatch = 1024
+	}
+	var jsonRate float64
+	for _, codec := range []client.Codec{client.CodecJSON, client.CodecBinary} {
+		sb, err := benchService(inst, codec, svcBatch, *reps, *seed)
 		if err != nil {
 			return err
 		}
-		rep.Policies = append(rep.Policies, pb)
-		fmt.Fprintf(w, "policy %s: %.1f ns/element, %.0f elements/s, allocs/element %.3f, mean benefit %.1f\n",
-			pb.Policy, pb.NsPerElement, pb.ElementsPerSec, pb.AllocsPerElement, pb.MeanBenefit)
+		if codec == client.CodecJSON {
+			jsonRate = sb.ElementsPerSec
+		} else if jsonRate > 0 {
+			sb.SpeedupVsJSON = sb.ElementsPerSec / jsonRate
+		}
+		rep.Service = append(rep.Service, sb)
+		fmt.Fprintf(w, "service codec=%s: %.1f ns/element, %.0f elements/s, allocs/element %.3f",
+			sb.Codec, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
+		if sb.SpeedupVsJSON > 0 {
+			fmt.Fprintf(w, ", %.2fx JSON", sb.SpeedupVsJSON)
+		}
+		fmt.Fprintln(w)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -187,14 +275,24 @@ func run(args []string, w io.Writer) error {
 		if rep.Decide.AllocsPerElement > 0 {
 			return fmt.Errorf("decide kernel allocates %.3f/element, want 0", rep.Decide.AllocsPerElement)
 		}
-		for _, sb := range rep.Engine {
+		for _, sb := range append(append([]ShardBench(nil), rep.Engine...), rep.EngineInterface) {
 			if sb.AllocsPerElement > 0 {
 				return fmt.Errorf("engine shards=%d allocates %.3f/element in steady state, want 0", sb.Shards, sb.AllocsPerElement)
 			}
 		}
 		for _, pb := range rep.Policies {
 			if pb.AllocsPerElement > 0 {
-				return fmt.Errorf("policy %s allocates %.3f/element in steady state, want 0", pb.Policy, pb.AllocsPerElement)
+				return fmt.Errorf("policy %s (%s) allocates %.3f/element in steady state, want 0", pb.Policy, pb.Workload, pb.AllocsPerElement)
+			}
+		}
+		// Service rows are measured process-wide (client marshal included),
+		// so the JSON row legitimately allocates; the serve-side decode
+		// path's 0 allocs/element is enforced by the alloc-regression test
+		// in internal/serve instead. Still guard the binary row against
+		// gross per-element regressions.
+		for _, sb := range rep.Service {
+			if sb.Codec == "binary" && sb.AllocsPerElement > 1 {
+				return fmt.Errorf("binary service path allocates %.3f/element process-wide, want <= 1", sb.AllocsPerElement)
 			}
 		}
 	}
@@ -284,7 +382,7 @@ func benchSerial(inst *setsystem.Instance, reps int, seed int64) SerialBench {
 // measures steady-state ingestion allocations on a persistent engine.
 func benchEngine(inst *setsystem.Instance, shards, reps int, seed int64) (ShardBench, error) {
 	ns, allocs, err := benchEngineConfig(inst,
-		engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}, reps, seed)
+		engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}, nil, reps, seed)
 	if err != nil {
 		return ShardBench{}, err
 	}
@@ -298,13 +396,13 @@ func benchEngine(inst *setsystem.Instance, shards, reps int, seed int64) (ShardB
 	}, nil
 }
 
-// benchPolicy streams the matrix workload through the engine under one
+// benchPolicy streams one workload through the engine under one
 // registered policy: replay timing, the steady-state allocation probe,
 // and the mean serial-oracle benefit over a few seeds.
-func benchPolicy(inst *setsystem.Instance, name string, reps int, seed int64) (PolicyBench, error) {
+func benchPolicy(inst *setsystem.Instance, workloadName, name string, reps int, seed int64) (PolicyBench, error) {
 	const policyShards = 4
 	cfg := engine.Config{Shards: policyShards, BatchSize: 128, QueueDepth: 8, Policy: name}
-	ns, allocs, err := benchEngineConfig(inst, cfg, reps, seed)
+	ns, allocs, err := benchEngineConfig(inst, cfg, nil, reps, seed)
 	if err != nil {
 		return PolicyBench{}, err
 	}
@@ -326,6 +424,7 @@ func benchPolicy(inst *setsystem.Instance, name string, reps int, seed int64) (P
 	n := inst.NumElements()
 	return PolicyBench{
 		Policy:           name,
+		Workload:         workloadName,
 		Shards:           policyShards,
 		Elements:         n,
 		NsPerElement:     float64(ns) / float64(n),
@@ -335,15 +434,73 @@ func benchPolicy(inst *setsystem.Instance, name string, reps int, seed int64) (P
 	}, nil
 }
 
+// opaquePolicy hides the wrapped policy's state behind a wrapper type,
+// defeating the engine's *core.VectorState type switch — the shard loop
+// then dispatches every decision through the PolicyState interface,
+// which is exactly the pre-fast-path configuration (plus one forwarding
+// call, so the row slightly OVERSTATES the interface path's cost; the
+// fast path only has to be ≥ this to be ≥ neutral).
+type opaquePolicy struct{ inner core.Policy }
+
+func (p opaquePolicy) Name() string { return p.inner.Name() + "-opaque" }
+
+func (p opaquePolicy) Setup(info core.Info, seed uint64) (core.PolicyState, error) {
+	st, err := p.inner.Setup(info, seed)
+	if err != nil {
+		return nil, err
+	}
+	return opaqueState{st}, nil
+}
+
+type opaqueState struct{ inner core.PolicyState }
+
+func (s opaqueState) DecideInPlace(members []setsystem.SetID, capacity int) []setsystem.SetID {
+	return s.inner.DecideInPlace(members, capacity)
+}
+
+func (s opaqueState) Decide(members []setsystem.SetID, capacity int, buf []setsystem.SetID) []setsystem.SetID {
+	return s.inner.Decide(members, capacity, buf)
+}
+
+// benchEngineInterface is the devirtualization "before" row: the
+// default policy forced through interface dispatch at the same shape as
+// the shards=4 engine row.
+func benchEngineInterface(inst *setsystem.Instance, reps int, seed int64) (ShardBench, error) {
+	const shards = 4
+	pol, err := core.LookupPolicy(core.DefaultPolicy)
+	if err != nil {
+		return ShardBench{}, err
+	}
+	ns, allocs, err := benchEngineConfig(inst,
+		engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}, opaquePolicy{pol}, reps, seed)
+	if err != nil {
+		return ShardBench{}, err
+	}
+	n := inst.NumElements()
+	return ShardBench{
+		Shards:           shards,
+		Elements:         n,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
+}
+
 // benchEngineConfig is the shared measurement body: best-of replay wall
 // time plus the steady-state allocation probe on a persistent engine.
-func benchEngineConfig(inst *setsystem.Instance, cfg engine.Config, reps int, seed int64) (ns int64, allocs uint64, err error) {
+// A non-nil pol overrides cfg.Policy (the interface-dispatch row).
+func benchEngineConfig(inst *setsystem.Instance, cfg engine.Config, pol core.Policy, reps int, seed int64) (ns int64, allocs uint64, err error) {
+	if pol == nil {
+		if pol, err = core.LookupPolicy(cfg.Policy); err != nil {
+			return 0, 0, err
+		}
+	}
 	var replayErr error
 	ns = timeBest(reps, func() {
 		if replayErr != nil {
 			return
 		}
-		if _, err := engine.Replay(inst, uint64(seed), cfg); err != nil {
+		if _, err := engine.ReplayWithPolicy(inst, pol, uint64(seed), cfg); err != nil {
 			replayErr = err
 		}
 	})
@@ -353,7 +510,7 @@ func benchEngineConfig(inst *setsystem.Instance, cfg engine.Config, reps int, se
 
 	// Steady-state allocation probe: warm a persistent engine past its
 	// high-water mark, then count mallocs over a second full pass.
-	e, err := engine.New(core.InfoOf(inst), uint64(seed), cfg)
+	e, err := engine.NewWithPolicy(core.InfoOf(inst), pol, uint64(seed), cfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -370,6 +527,93 @@ func benchEngineConfig(inst *setsystem.Instance, cfg engine.Config, reps int, se
 		return 0, 0, err
 	}
 	return ns, allocs, nil
+}
+
+// benchService measures the full networked ingest path: an embedded
+// admission server on a loopback listener, the real osp/client driving
+// one codec, the matrix workload streamed in fixed batches. Each timed
+// pass registers a fresh instance, ingests everything, drains and
+// removes it; the drained result of the first pass is verified
+// bit-for-bit against the serial randpr oracle.
+func benchService(inst *setsystem.Instance, codec client.Codec, batch, reps int, seed int64) (ServiceBench, error) {
+	srv := osp.NewServer(osp.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed below
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)  //nolint:errcheck
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	c, err := client.New("http://"+ln.Addr().String(), client.WithCodec(codec))
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	ctx := context.Background()
+	pass := func() (*core.Result, error) {
+		h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: uint64(seed)})
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(inst.Elements); off += batch {
+			end := min(off+batch, len(inst.Elements))
+			if _, err := h.Ingest(ctx, inst.Elements[off:end]); err != nil {
+				return nil, err
+			}
+		}
+		res, err := h.Drain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res, h.Remove(ctx)
+	}
+
+	// Correctness first: one verified pass before any timing.
+	res, err := pass()
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	serial, err := core.Run(inst, &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(seed)}}, nil)
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	if !res.Equal(serial) {
+		return ServiceBench{}, fmt.Errorf("service codec=%s: drained result differs from the serial oracle", codec)
+	}
+
+	var passErr error
+	ns := timeBest(reps, func() {
+		if passErr != nil {
+			return
+		}
+		_, passErr = pass()
+	})
+	if passErr != nil {
+		return ServiceBench{}, passErr
+	}
+	allocs := allocsDuring(2, func() {
+		if passErr == nil {
+			_, passErr = pass()
+		}
+	})
+	if passErr != nil {
+		return ServiceBench{}, passErr
+	}
+
+	n := inst.NumElements()
+	return ServiceBench{
+		Codec:            codec.String(),
+		Elements:         n,
+		Batch:            batch,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
 }
 
 // timeBest runs f reps times and returns the fastest wall time in

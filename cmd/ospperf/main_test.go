@@ -43,23 +43,62 @@ func TestQuickMatrix(t *testing.T) {
 			t.Errorf("shards=%d: no throughput recorded", sb.Shards)
 		}
 	}
-	if len(rep.Policies) != len(core.PolicyNames()) {
-		t.Fatalf("policy bench has %d rows, want one per registered policy (%d)",
-			len(rep.Policies), len(core.PolicyNames()))
+	// One row per registered policy per workload (uniform, then zipf),
+	// sorted registry order within each workload block.
+	names := core.PolicyNames()
+	if len(rep.Policies) != 2*len(names) {
+		t.Fatalf("policy bench has %d rows, want one per registered policy (%d) per workload (2)",
+			len(rep.Policies), len(names))
 	}
+	benefit := map[string]float64{}
 	for i, pb := range rep.Policies {
-		if pb.Policy != core.PolicyNames()[i] {
-			t.Errorf("policies[%d] = %q, want %q (sorted registry order)", i, pb.Policy, core.PolicyNames()[i])
+		wantName := names[i%len(names)]
+		wantWorkload := "uniform"
+		if i >= len(names) {
+			wantWorkload = "zipf"
+		}
+		if pb.Policy != wantName || pb.Workload != wantWorkload {
+			t.Errorf("policies[%d] = %q on %q, want %q on %q", i, pb.Policy, pb.Workload, wantName, wantWorkload)
 		}
 		if pb.NsPerElement <= 0 || pb.ElementsPerSec <= 0 {
-			t.Errorf("policy %s: timings not populated: %+v", pb.Policy, pb)
+			t.Errorf("policy %s (%s): timings not populated: %+v", pb.Policy, pb.Workload, pb)
 		}
 		if pb.AllocsPerElement > 0 {
-			t.Errorf("policy %s: %.3f allocs/element in steady state, want 0", pb.Policy, pb.AllocsPerElement)
+			t.Errorf("policy %s (%s): %.3f allocs/element in steady state, want 0", pb.Policy, pb.Workload, pb.AllocsPerElement)
 		}
 		if pb.Policy != "first-fit" && pb.MeanBenefit <= 0 {
-			t.Errorf("policy %s: mean benefit %.3f not populated", pb.Policy, pb.MeanBenefit)
+			t.Errorf("policy %s (%s): mean benefit %.3f not populated", pb.Policy, pb.Workload, pb.MeanBenefit)
 		}
+		benefit[pb.Policy+"/"+pb.Workload] = pb.MeanBenefit
+	}
+	// The zipf workload exists to distinguish the weighted variant: its
+	// mean benefit must diverge from plain randpr's there.
+	if benefit["randpr/zipf"] == benefit["randpr-weighted/zipf"] {
+		t.Errorf("zipf rows: randpr and randpr-weighted report identical mean benefit %.3f — the skewed scenario is not distinguishing",
+			benefit["randpr/zipf"])
+	}
+
+	// The interface-dispatch row (fast-path "before") must be populated
+	// at the engine matrix shape.
+	if rep.EngineInterface.Shards != 4 || rep.EngineInterface.ElementsPerSec <= 0 {
+		t.Errorf("engine_interface row not populated: %+v", rep.EngineInterface)
+	}
+	if rep.EngineInterface.AllocsPerElement > 0 {
+		t.Errorf("interface-dispatch engine allocates %.3f/element, want 0", rep.EngineInterface.AllocsPerElement)
+	}
+
+	// Service rows: json then binary, binary carrying the speedup and
+	// meeting the tentpole floor (>= 4x JSON) even at smoke sizes.
+	if len(rep.Service) != 2 || rep.Service[0].Codec != "json" || rep.Service[1].Codec != "binary" {
+		t.Fatalf("service rows = %+v, want [json binary]", rep.Service)
+	}
+	for _, sb := range rep.Service {
+		if sb.ElementsPerSec <= 0 || sb.NsPerElement <= 0 {
+			t.Errorf("service %s: timings not populated: %+v", sb.Codec, sb)
+		}
+	}
+	if sp := rep.Service[1].SpeedupVsJSON; sp < 4 {
+		t.Errorf("binary service path is %.2fx JSON, want >= 4x", sp)
 	}
 }
 

@@ -101,6 +101,11 @@ type RandPrPolicy struct {
 // Name implements Policy.
 func (RandPrPolicy) Name() string { return DefaultPolicy }
 
+// Description implements PolicyDescriber.
+func (RandPrPolicy) Description() string {
+	return "the paper's distributed randPr: hash-derived R_w priorities, top-b(u) selection (Theorem 1 guarantees apply)"
+}
+
 // Setup implements Policy.
 func (p RandPrPolicy) Setup(info Info, seed uint64) (PolicyState, error) {
 	h := p.Hasher
@@ -123,6 +128,11 @@ type WeightedRandPrPolicy struct {
 
 // Name implements Policy.
 func (WeightedRandPrPolicy) Name() string { return "randpr-weighted" }
+
+// Description implements PolicyDescriber.
+func (WeightedRandPrPolicy) Description() string {
+	return "randPr with priorities scaled by set weight (p = w·r): heavy sets win contested elements more often"
+}
 
 // Setup implements Policy. It scales the output of HashPriorities — the
 // single shared priority code path — so the two randPr variants can never
@@ -153,6 +163,11 @@ type GreedyRemainingPolicy struct{}
 
 // Name implements Policy.
 func (GreedyRemainingPolicy) Name() string { return "greedy-remaining" }
+
+// Description implements PolicyDescriber.
+func (GreedyRemainingPolicy) Description() string {
+	return "deterministic baseline: admit the parents closest to completion by declared size (ties: weight desc, SetID asc)"
+}
 
 // Setup implements Policy. The seed is ignored: the policy is
 // deterministic.
@@ -190,6 +205,11 @@ type FirstFitPolicy struct{}
 
 // Name implements Policy.
 func (FirstFitPolicy) Name() string { return "first-fit" }
+
+// Description implements PolicyDescriber.
+func (FirstFitPolicy) Description() string {
+	return "admit-all baseline: the first b(u) parents in SetID order, no selection pressure"
+}
 
 // Setup implements Policy. The seed is ignored: the policy is
 // deterministic.
@@ -273,6 +293,41 @@ func PolicyNames() []string {
 	policyMu.RUnlock()
 	sort.Strings(names)
 	return names
+}
+
+// PolicyDescriber is the optional self-description interface a Policy
+// may implement. The service's GET /v1/policies discovery endpoint
+// surfaces these one-liners so clients can enumerate what a server
+// offers instead of hardcoding names.
+type PolicyDescriber interface {
+	// Description is one line: what the policy optimizes for and any
+	// guarantee caveat.
+	Description() string
+}
+
+// PolicyInfo pairs a registered policy name with its one-line
+// description ("" when the policy does not describe itself).
+type PolicyInfo struct {
+	Name        string
+	Description string
+}
+
+// PolicyInfos returns every registered policy with its description,
+// sorted by name — the registry-driven source of the service's
+// GET /v1/policies response.
+func PolicyInfos() []PolicyInfo {
+	policyMu.RLock()
+	infos := make([]PolicyInfo, 0, len(policyRegistry))
+	for name, p := range policyRegistry {
+		info := PolicyInfo{Name: name}
+		if d, ok := p.(PolicyDescriber); ok {
+			info.Description = d.Description()
+		}
+		infos = append(infos, info)
+	}
+	policyMu.RUnlock()
+	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
+	return infos
 }
 
 // PolicyAlgorithm adapts a Policy to the Algorithm interface, making

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/hashpr"
@@ -275,5 +276,27 @@ func TestPolicyAlgorithmName(t *testing.T) {
 	choice := a.Choose(ElementView{Members: []setsystem.SetID{0, 1}, Capacity: 1})
 	if len(choice) != 1 {
 		t.Errorf("Choose = %v, want one parent", choice)
+	}
+}
+
+// TestPolicyInfos pins the registry-driven discovery contract: every
+// built-in describes itself in one line, rows come back sorted by name,
+// and the list agrees with PolicyNames.
+func TestPolicyInfos(t *testing.T) {
+	infos := PolicyInfos()
+	names := PolicyNames()
+	if len(infos) != len(names) {
+		t.Fatalf("PolicyInfos has %d rows, PolicyNames %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("row %d: name %q, want %q (sorted)", i, info.Name, names[i])
+		}
+		if info.Description == "" {
+			t.Errorf("policy %q has no description", info.Name)
+		}
+		if strings.Contains(info.Description, "\n") {
+			t.Errorf("policy %q description is not one line", info.Name)
+		}
 	}
 }

@@ -127,36 +127,77 @@ var (
 	ErrNilPolicy = errors.New("engine: nil policy")
 )
 
-// batch is one ingestion unit in flat structure-of-arrays layout: the
+// Batch is one ingestion unit in flat structure-of-arrays layout: the
 // member lists of all batched elements concatenated into one buffer, plus
 // parallel per-element offset and capacity arrays. Element i's parents are
-// members[offs[i]:offs[i+1]] and its b(u) is caps[i]. The layout keeps the
+// Members[Offs[i]:Offs[i+1]] and its b(u) is Caps[i]. The layout keeps the
 // shard's decide loop walking contiguous memory, and ingestion does one
 // bulk copy per element instead of retaining the caller's slice.
-type batch struct {
-	members []setsystem.SetID
-	offs    []int32 // len = n+1; offs[0] == 0
-	caps    []int32 // len = n
+//
+// The fields are exported for the zero-copy wire path: BorrowBatch hands
+// out a recycled Batch, wire decoding appends straight into its buffers
+// (internal/wire.DecodeBatch produces exactly this shape), and
+// SubmitBatch hands it to a shard whole — no intermediate element
+// structs, no second copy.
+type Batch struct {
+	Members []setsystem.SetID
+	Offs    []int32 // len = n+1; Offs[0] == 0
+	Caps    []int32 // len = n
 }
 
 // add bulk-copies one element into the batch.
-func (b *batch) add(el setsystem.Element) {
-	if len(b.offs) == 0 {
-		b.offs = append(b.offs, 0)
+func (b *Batch) add(el setsystem.Element) {
+	if len(b.Offs) == 0 {
+		b.Offs = append(b.Offs, 0)
 	}
-	b.members = append(b.members, el.Members...)
-	b.offs = append(b.offs, int32(len(b.members)))
-	b.caps = append(b.caps, int32(el.Capacity))
+	b.Members = append(b.Members, el.Members...)
+	b.Offs = append(b.Offs, int32(len(b.Members)))
+	b.Caps = append(b.Caps, int32(el.Capacity))
 }
 
-// len returns the number of batched elements.
-func (b *batch) len() int { return len(b.caps) }
+// Len returns the number of batched elements.
+func (b *Batch) Len() int { return len(b.Caps) }
 
-// reset empties the batch, keeping its storage.
-func (b *batch) reset() {
-	b.members = b.members[:0]
-	b.offs = b.offs[:0]
-	b.caps = b.caps[:0]
+// Reset empties the batch, keeping its storage.
+func (b *Batch) Reset() {
+	b.Members = b.Members[:0]
+	b.Offs = b.Offs[:0]
+	b.Caps = b.Caps[:0]
+}
+
+// Validate checks every batched element against a universe of numSets
+// sets — the flat-layout mirror of setsystem.CheckElement, wrapping the
+// same error values. Batch-ingestion layers call it once after filling a
+// borrowed batch from the wire; SubmitBatch then trusts the contents the
+// way SubmitValidated does.
+func (b *Batch) Validate(numSets int) error {
+	n := b.Len()
+	if len(b.Offs) != n+1 || b.Offs[0] != 0 || int(b.Offs[n]) != len(b.Members) {
+		return fmt.Errorf("engine: malformed batch: %d caps, %d offs over %d members", n, len(b.Offs), len(b.Members))
+	}
+	for i := 0; i < n; i++ {
+		if b.Caps[i] < 1 {
+			return fmt.Errorf("element %d: %w: capacity %d", i, setsystem.ErrBadCapacity, b.Caps[i])
+		}
+		lo, hi := b.Offs[i], b.Offs[i+1]
+		if hi < lo {
+			return fmt.Errorf("engine: malformed batch: element %d spans [%d, %d)", i, lo, hi)
+		}
+		if hi == lo {
+			return fmt.Errorf("element %d: %w", i, setsystem.ErrEmptyElement)
+		}
+		prev := setsystem.SetID(-1)
+		for _, s := range b.Members[lo:hi] {
+			if s < 0 || s >= setsystem.SetID(numSets) {
+				return fmt.Errorf("element %d: %w: set %d (m=%d)", i, setsystem.ErrMemberRange, s, numSets)
+			}
+			if s <= prev {
+				return fmt.Errorf("element %d: %w: set %d after %d", i, setsystem.ErrBadMemberOrder, s, prev)
+			}
+			prev = s
+		}
+	}
+	return nil
 }
 
 // Engine streams elements through sharded policy admission. Submit and
@@ -168,11 +209,12 @@ type Engine struct {
 	info    core.Info
 	policy  string           // resolved policy name
 	decider core.PolicyState // read-only after New; shared by all shards
+	vector  *core.VectorState
 	shards  []*shard
 	wg      sync.WaitGroup
-	batch   *batch
+	batch   *Batch
 	next    int         // round-robin shard cursor
-	free    chan *batch // recycled batches; pre-filled so steady state never allocates
+	free    chan *Batch // recycled batches; pre-filled so steady state never allocates
 	metrics Metrics
 	state   atomic.Int32 // State; written by the submitter, read by anyone
 	result  *core.Result
@@ -180,7 +222,7 @@ type Engine struct {
 
 // shard is one worker: a bounded inbox and shard-local bookkeeping.
 type shard struct {
-	in       chan *batch
+	in       chan *Batch
 	assigned []int32
 }
 
@@ -216,21 +258,27 @@ func NewWithPolicy(info core.Info, pol core.Policy, seed uint64, cfg Config) (*E
 		policy:  pol.Name(),
 		decider: state,
 		shards:  make([]*shard, cfg.Shards),
-		batch:   new(batch),
+		batch:   new(Batch),
 	}
+	// Hot-path devirtualization: every built-in except first-fit decides
+	// through a *core.VectorState. Pinning the concrete type here lets the
+	// shard loop call its DecideInPlace directly — a static, inlinable
+	// call — instead of going through the PolicyState interface for every
+	// element. Custom policies simply keep the interface path.
+	e.vector, _ = state.(*core.VectorState)
 	// Pre-fill the free list with every batch that can be in flight at
 	// once: one per queue slot, one being processed per shard, one in the
 	// submitter's hand, plus slack. Ingestion then recycles this fixed
 	// population and never allocates a batch again.
 	maxInFlight := cfg.Shards*(cfg.QueueDepth+1) + 2
-	e.free = make(chan *batch, maxInFlight)
+	e.free = make(chan *Batch, maxInFlight)
 	for i := 0; i < maxInFlight-1; i++ {
-		e.free <- new(batch)
+		e.free <- new(Batch)
 	}
 	e.metrics.start()
 	for i := range e.shards {
 		s := &shard{
-			in:       make(chan *batch, cfg.QueueDepth),
+			in:       make(chan *Batch, cfg.QueueDepth),
 			assigned: make([]int32, info.NumSets()),
 		}
 		e.shards[i] = s
@@ -246,14 +294,21 @@ func NewWithPolicy(info core.Info, pol core.Policy, seed uint64, cfg Config) (*E
 // publication.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
+	vec := e.vector
 	for b := range s.in {
-		n := b.len()
+		n := b.Len()
 		var assigned, dropped uint64
 		for i := 0; i < n; i++ {
-			members := b.members[b.offs[i]:b.offs[i+1]]
+			members := b.Members[b.Offs[i]:b.Offs[i+1]]
 			// The batch buffer is engine-owned scratch, so the policy may
 			// reorder it in place — no per-element copy on the hot path.
-			choice := e.decider.DecideInPlace(members, int(b.caps[i]))
+			// Vector policies take the devirtualized direct call.
+			var choice []setsystem.SetID
+			if vec != nil {
+				choice = vec.DecideInPlace(members, int(b.Caps[i]))
+			} else {
+				choice = e.decider.DecideInPlace(members, int(b.Caps[i]))
+			}
 			for _, id := range choice {
 				s.assigned[id]++
 			}
@@ -261,29 +316,88 @@ func (e *Engine) run(s *shard) {
 			dropped += uint64(len(members) - len(choice))
 		}
 		e.metrics.observeBatch(uint64(n), assigned, dropped)
-		b.reset()
+		b.Reset()
 		e.putBatch(b)
 	}
 }
 
 // getBatch pulls a recycled batch, falling back to allocation only if the
 // pre-filled population is somehow exhausted.
-func (e *Engine) getBatch() *batch {
+func (e *Engine) getBatch() *Batch {
 	select {
 	case b := <-e.free:
 		return b
 	default:
-		return new(batch)
+		return new(Batch)
 	}
 }
 
 // putBatch returns a processed batch to the free list (dropping it if the
 // list is full, which only happens for fallback-allocated batches).
-func (e *Engine) putBatch(b *batch) {
+func (e *Engine) putBatch(b *Batch) {
 	select {
 	case e.free <- b:
 	default:
 	}
+}
+
+// BorrowBatch hands out an empty flat batch from the engine's recycled
+// population — the entry point of the zero-copy wire path. The caller
+// fills Members/Offs/Caps directly (wire.DecodeBatch appends exactly
+// this shape), validates with Batch.Validate, and passes the batch to
+// SubmitBatch; a batch that will not be submitted after all must go back
+// through ReturnBatch. Borrowed batches draw on the same pre-filled
+// free-list population as Submit's internal batching, so steady-state
+// wire ingestion allocates nothing.
+func (e *Engine) BorrowBatch() *Batch {
+	b := e.getBatch()
+	b.Reset()
+	return b
+}
+
+// ReturnBatch returns a borrowed batch to the free list unsubmitted —
+// the error path of the wire decode (malformed frame, failed
+// validation).
+func (e *Engine) ReturnBatch(b *Batch) {
+	b.Reset()
+	e.putBatch(b)
+}
+
+// SubmitBatch hands a borrowed, filled batch to the next shard whole,
+// skipping the per-element copy Submit does: the wire bytes were decoded
+// straight into this batch's buffers and ownership now passes to the
+// engine. The caller must have validated the contents with
+// Batch.Validate (SubmitBatch trusts them the way SubmitValidated does)
+// and must not touch the batch afterwards, whatever the outcome — on
+// error the batch is returned to the free list internally. Like Submit,
+// it blocks when the target shard's queue is full (backpressure), and it
+// must be called from the same single submitter goroutine.
+//
+// Batch sizing is the caller's: a wire batch is not re-split to
+// Config.BatchSize, it reaches one shard as one unit. Round-robin over
+// wire batches keeps shards balanced exactly as flush does.
+func (e *Engine) SubmitBatch(b *Batch) error {
+	st := State(e.state.Load())
+	if st == StateDrained {
+		e.ReturnBatch(b)
+		return ErrDrained
+	}
+	n := b.Len()
+	if n == 0 {
+		e.ReturnBatch(b)
+		return nil
+	}
+	if len(b.Offs) != n+1 || b.Offs[0] != 0 || int(b.Offs[n]) != len(b.Members) {
+		e.ReturnBatch(b)
+		return fmt.Errorf("engine: malformed batch: %d caps, %d offs over %d members", n, len(b.Offs), len(b.Members))
+	}
+	if st == StateIdle {
+		e.state.Store(int32(StateStreaming))
+	}
+	e.metrics.submitted.Add(uint64(n))
+	e.shards[e.next].in <- b
+	e.next = (e.next + 1) % len(e.shards)
+	return nil
 }
 
 // Submit offers one arriving element to the stream. It validates the
@@ -326,7 +440,7 @@ func (e *Engine) ingest(el setsystem.Element, st State) {
 		e.state.Store(int32(StateStreaming))
 	}
 	e.batch.add(el)
-	if e.batch.len() >= e.cfg.BatchSize {
+	if e.batch.Len() >= e.cfg.BatchSize {
 		e.flush()
 	}
 }
@@ -335,7 +449,7 @@ func (e *Engine) ingest(el setsystem.Element, st State) {
 // the batch's element count to the submitted counter — one atomic update
 // per batch, not per element.
 func (e *Engine) flush() {
-	n := e.batch.len()
+	n := e.batch.Len()
 	if n == 0 {
 		return
 	}

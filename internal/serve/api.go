@@ -181,6 +181,19 @@ type ListResponse struct {
 	Instances []InstanceStatus `json:"instances"`
 }
 
+// PolicyDescription is one row of GET /v1/policies: a registered
+// admission-policy name a RegisterRequest may carry, and the registry's
+// one-line description of it.
+type PolicyDescription struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// PoliciesResponse is the body of GET /v1/policies, sorted by name.
+type PoliciesResponse struct {
+	Policies []PolicyDescription `json:"policies"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

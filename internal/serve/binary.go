@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/setsystem"
+	"repro/internal/wire"
+)
+
+// The binary ingest path: POST /v1/instances/{id}/elements with
+// Content-Type application/x-osp-batch. It exists to carry the engine's
+// zero-allocation discipline to the socket — the JSON path burns ~96% of
+// the engine's deliverable throughput on decode/marshal. Steady state
+// here allocates nothing per element:
+//
+//	pooled body buffer  <- request bytes (one read loop, no json.Decoder)
+//	borrowed engine batch <- wire.DecodeBatch appends straight into the
+//	                         engine's flat SoA free-list buffers
+//	Batch.Validate      <- the one per-member scan (atomicity, as JSON)
+//	pooled verdict frame <- one bit per membership, written from the
+//	                         shared PolicyState before ownership of the
+//	                         batch passes to the engine
+//	Engine.SubmitBatch  <- the filled batch goes to a shard whole; no
+//	                         intermediate element structs, no second copy
+//
+// Every per-request buffer lives in one pooled scratch struct, so the
+// hot path does a single sync.Pool round trip. The JSON path is
+// untouched: any other Content-Type decodes exactly as before.
+
+// ingestScratch is the pooled per-request working set of the binary
+// ingest path.
+type ingestScratch struct {
+	body   []byte            // request frame
+	resp   []byte            // verdicts frame
+	decide []setsystem.SetID // PolicyState.Decide scratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// isBinaryBatch reports whether the request negotiates the binary batch
+// codec via Content-Type (parameters after ';' are ignored).
+func isBinaryBatch(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == wire.ContentTypeBatch
+}
+
+// readBody reads the whole request body into buf (reusing its storage),
+// bounded by the configured body limit. A limit overrun is reported as
+// *http.MaxBytesError, exactly like the JSON path's decoder.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64, buf []byte) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, limit)
+	if n := r.ContentLength; n > 0 && n <= limit && int64(cap(buf)) < n {
+		// Known length above the warm buffer: grow once, up front.
+		buf = make([]byte, 0, n)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// handleIngestBinary is the binary-codec arm of POST
+// /v1/instances/{id}/elements. Semantics mirror the JSON arm exactly —
+// atomic batches, identical status codes, verdicts computed from the
+// same shared policy state — only the wire representation and the
+// allocation profile differ.
+func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request, in *Instance) {
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes, sc.body[:0])
+	sc.body = body
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "ingest: read body: %v", err)
+		return
+	}
+
+	// Enforce the batch cap from the frame header BEFORE decoding: the
+	// decode fills engine free-list buffers that live as long as the
+	// instance, so an over-limit frame must be rejected while it is
+	// still just pooled request bytes, not after it has permanently
+	// grown a recycled batch to its size.
+	if c, ok := wire.PeekBatchCount(body); ok && c > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "ingest: batch of %d exceeds limit %d", c, s.cfg.MaxBatch)
+		return
+	}
+	eng := in.eng
+	b := eng.BorrowBatch()
+	b.Members, b.Offs, b.Caps, err = wire.DecodeBatch(body, b.Members[:0], b.Offs[:0], b.Caps[:0])
+	if err != nil {
+		eng.ReturnBatch(b)
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	n := b.Len()
+	// Atomicity: the whole batch is validated against the instance's
+	// universe before any element is submitted, as in the JSON path.
+	if err := b.Validate(in.info.NumSets()); err != nil {
+		eng.ReturnBatch(b)
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+
+	// Pack the verdict frame before submitting: ownership of the batch
+	// buffers passes to a shard at SubmitBatch, and the shard may reset
+	// them concurrently. The handler and the shard still agree decision
+	// for decision — both apply the same pure rule to the same frozen
+	// state (Section 3.1, generalized by the policy contract).
+	resp := wire.AppendVerdictsHeader(sc.resp[:0], n)
+	dec := eng.Policy()
+	buf := sc.decide
+	for i := 0; i < n; i++ {
+		members := b.Members[b.Offs[i]:b.Offs[i+1]]
+		buf = dec.Decide(members, int(b.Caps[i]), buf)
+		resp = wire.AppendVerdictMask(resp, members, buf)
+	}
+	sc.decide = buf
+	sc.resp = resp
+
+	if err := in.IngestBatch(b); err != nil {
+		if errors.Is(err, engine.ErrDrained) {
+			if s.pool.Closed() {
+				writeError(w, http.StatusServiceUnavailable, "%v", ErrPoolClosed)
+				return
+			}
+			writeError(w, http.StatusConflict, "ingest: instance %s is already drained", in.ID())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeVerdicts)
+	w.WriteHeader(http.StatusOK)
+	w.Write(resp) //nolint:errcheck // client gone mid-write is not actionable
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/setsystem"
+	"repro/internal/wire"
+)
+
+// doBinary runs one binary-codec ingest through the server.
+func doBinary(t *testing.T, s *Server, id string, frame []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/instances/"+id+"/elements", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", wire.ContentTypeBatch)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// decodeMasks unpacks a verdicts frame into per-element admitted sets,
+// using the elements the "client" sent.
+func decodeMasks(t *testing.T, raw []byte, els []setsystem.Element) [][]setsystem.SetID {
+	t.Helper()
+	payload, count, err := wire.DecodeVerdicts(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(els) {
+		t.Fatalf("verdicts frame counts %d elements, sent %d", count, len(els))
+	}
+	out := make([][]setsystem.SetID, len(els))
+	for i, el := range els {
+		var mask []byte
+		mask, payload, err = wire.MaskAt(payload, len(el.Members))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, s := range el.Members {
+			if wire.MaskBit(mask, j) {
+				out[i] = append(out[i], s)
+			}
+		}
+	}
+	if len(payload) != 0 {
+		t.Fatalf("%d stray bytes after the last mask", len(payload))
+	}
+	return out
+}
+
+// TestBinaryIngestMatchesJSON is the codec-equivalence anchor: the same
+// stream ingested once per codec on two instances under one seed yields
+// identical per-element verdicts and an identical drained result.
+func TestBinaryIngestMatchesJSON(t *testing.T) {
+	inst := uniformInst(t, 60, 3000, 6, 4)
+	s := New(Config{})
+	defer s.Shutdown(t.Context())
+	jsonID := register(t, s, inst, 11)
+	binID := register(t, s, inst, 11)
+
+	const batch = 250
+	for off := 0; off < len(inst.Elements); off += batch {
+		els := inst.Elements[off : off+batch]
+
+		var jresp IngestResponse
+		rec := do(t, s, "POST", "/v1/instances/"+jsonID+"/elements", IngestRequest{Elements: wireElems(els)}, &jresp)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("json ingest: status %d: %s", rec.Code, rec.Body.String())
+		}
+
+		brec := doBinary(t, s, binID, wire.AppendElements(nil, els))
+		if brec.Code != http.StatusOK {
+			t.Fatalf("binary ingest: status %d: %s", brec.Code, brec.Body.String())
+		}
+		if ct := brec.Header().Get("Content-Type"); ct != wire.ContentTypeVerdicts {
+			t.Fatalf("binary ingest answered Content-Type %q", ct)
+		}
+		admitted := decodeMasks(t, brec.Body.Bytes(), els)
+		for i := range els {
+			if fmt.Sprint(admitted[i]) != fmt.Sprint(jresp.Verdicts[i].Admitted) {
+				t.Fatalf("element %d: binary admitted %v, JSON admitted %v",
+					off+i, admitted[i], jresp.Verdicts[i].Admitted)
+			}
+		}
+	}
+
+	var jdrain, bdrain DrainResponse
+	do(t, s, "POST", "/v1/instances/"+jsonID+"/drain", nil, &jdrain)
+	do(t, s, "POST", "/v1/instances/"+binID+"/drain", nil, &bdrain)
+	if !jdrain.Result.Core().Equal(bdrain.Result.Core()) {
+		t.Fatalf("drained results differ: json %.3f, binary %.3f", jdrain.Result.Benefit, bdrain.Result.Benefit)
+	}
+}
+
+// TestBinaryIngestRejects pins the binary arm's status codes against the
+// JSON arm's contract: malformed frames and invalid elements 400 with
+// nothing ingested (atomicity), oversized batches 400, drained instances
+// 409 — and after every rejection the instance still drains clean.
+func TestBinaryIngestRejects(t *testing.T) {
+	inst := uniformInst(t, 10, 40, 3, 9)
+	s := New(Config{MaxBatch: 16})
+	defer s.Shutdown(t.Context())
+	id := register(t, s, inst, 1)
+
+	el := inst.Elements[0]
+	good := wire.AppendElements(nil, []setsystem.Element{el})
+
+	if rec := doBinary(t, s, id, []byte("not a frame")); rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage frame: status %d, want 400", rec.Code)
+	}
+	if rec := doBinary(t, s, id, good[:len(good)-2]); rec.Code != http.StatusBadRequest {
+		t.Errorf("truncated frame: status %d, want 400", rec.Code)
+	}
+	outOfRange := wire.AppendElements(nil, []setsystem.Element{
+		{Members: []setsystem.SetID{99}, Capacity: 1},
+	})
+	if rec := doBinary(t, s, id, outOfRange); rec.Code != http.StatusBadRequest {
+		t.Errorf("out-of-range member: status %d, want 400", rec.Code)
+	}
+	big := make([]setsystem.Element, 17)
+	for i := range big {
+		big[i] = el
+	}
+	if rec := doBinary(t, s, id, wire.AppendElements(nil, big)); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", rec.Code)
+	}
+
+	// Nothing above was ingested: the engine is still idle.
+	var st InstanceStatus
+	do(t, s, "GET", "/v1/instances/"+id, nil, &st)
+	if st.Metrics.Submitted != 0 {
+		t.Errorf("rejected batches leaked %d elements into the engine", st.Metrics.Submitted)
+	}
+
+	do(t, s, "POST", "/v1/instances/"+id+"/drain", nil, nil)
+	if rec := doBinary(t, s, id, good); rec.Code != http.StatusConflict {
+		t.Errorf("ingest after drain: status %d, want 409", rec.Code)
+	}
+}
+
+// TestBinaryIngestBodyLimit mirrors the JSON path's 413 contract.
+func TestBinaryIngestBodyLimit(t *testing.T) {
+	inst := uniformInst(t, 10, 60, 3, 9)
+	s := New(Config{MaxBodyBytes: 512})
+	defer s.Shutdown(t.Context())
+	id := register(t, s, inst, 1)
+	frame := wire.AppendElements(nil, inst.Elements[:50])
+	if len(frame) <= 512 {
+		t.Fatalf("test frame only %d bytes, need > 512", len(frame))
+	}
+	if rec := doBinary(t, s, id, frame); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", rec.Code)
+	}
+}
+
+// discardResponseWriter is the allocation-probe ResponseWriter: a
+// preallocated header map and a byte-counting body sink.
+type discardResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *discardResponseWriter) Header() http.Header { return w.h }
+func (w *discardResponseWriter) WriteHeader(int)     {}
+func (w *discardResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// bodyReader is a resettable request body that avoids per-run reader
+// allocations in the probe loop.
+type bodyReader struct{ bytes.Reader }
+
+func (*bodyReader) Close() error { return nil }
+
+// TestBinaryIngestSteadyStateAllocs is the ingest-handler
+// alloc-regression gate: once pools and engine batches are warm, a
+// binary-codec request allocates nothing per element — the fixed
+// per-request bookkeeping (request routing, header map writes) must not
+// scale with the batch. CI runs this alongside the engine's alloc tests.
+func TestBinaryIngestSteadyStateAllocs(t *testing.T) {
+	inst := uniformInst(t, 200, 16384, 8, 21)
+	s := New(Config{})
+	defer s.Shutdown(t.Context())
+	id := register(t, s, inst, 5)
+
+	const batch = 2048
+	frames := make([][]byte, 0, len(inst.Elements)/batch)
+	for off := 0; off+batch <= len(inst.Elements); off += batch {
+		frames = append(frames, wire.AppendElements(nil, inst.Elements[off:off+batch]))
+	}
+	body := new(bodyReader)
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	req := httptest.NewRequest("POST", "/v1/instances/"+id+"/elements", body)
+	req.Header.Set("Content-Type", wire.ContentTypeBatch)
+
+	send := func(frame []byte) {
+		body.Reset(frame)
+		req.ContentLength = int64(len(frame))
+		req.Body = body
+		for k := range w.h {
+			delete(w.h, k)
+		}
+		s.ServeHTTP(w, req)
+	}
+	// Warm-up: cycle more frames than the engine's in-flight batch
+	// population so every recycled buffer reaches its high-water mark.
+	for _, frame := range frames[:6] {
+		send(frame)
+	}
+	pos := 0
+	allocs := testing.AllocsPerRun(30, func() {
+		send(frames[pos%len(frames)])
+		pos++
+	})
+	perElement := allocs / batch
+	t.Logf("warm binary ingest: %.1f allocs/request over %d elements (%.4f/element)", allocs, batch, perElement)
+	// The decode path itself is zero-alloc; what remains is fixed
+	// per-request bookkeeping (~20 allocs: routing, header map churn —
+	// more under -race instrumentation). Guard the property that
+	// matters: the total must not scale with the batch. One alloc per
+	// element would read 1.0 here.
+	if perElement > 0.05 {
+		t.Errorf("binary ingest allocates %.4f/element (%v per %d-element request), want per-request-constant ~0",
+			perElement, allocs, batch)
+	}
+}
+
+// TestPoliciesEndpoint covers the discovery endpoint: every registered
+// policy appears with a non-empty one-line description, sorted by name —
+// the registry-driven replacement for hardcoding the built-in names.
+func TestPoliciesEndpoint(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(t.Context())
+	var resp PoliciesResponse
+	rec := do(t, s, "GET", "/v1/policies", nil, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/policies: status %d: %s", rec.Code, rec.Body.String())
+	}
+	want := []string{"first-fit", "greedy-remaining", "randpr", "randpr-weighted"}
+	if len(resp.Policies) < len(want) {
+		t.Fatalf("%d policies, want at least %d", len(resp.Policies), len(want))
+	}
+	byName := map[string]string{}
+	var names []string
+	for _, p := range resp.Policies {
+		byName[p.Name] = p.Description
+		names = append(names, p.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("policies not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	for _, name := range want {
+		if desc, ok := byName[name]; !ok {
+			t.Errorf("built-in %q missing from /v1/policies", name)
+		} else if desc == "" {
+			t.Errorf("built-in %q has an empty description", name)
+		}
+	}
+}

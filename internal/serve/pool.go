@@ -118,6 +118,16 @@ func (in *Instance) Ingest(els []setsystem.Element) error {
 	return nil
 }
 
+// IngestBatch submits one borrowed, filled and validated engine batch —
+// the binary wire path's zero-copy unit — serialized onto the engine's
+// single-submitter contract like Ingest. Ownership of the batch passes
+// to the engine whatever the outcome.
+func (in *Instance) IngestBatch(b *engine.Batch) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.eng.SubmitBatch(b)
+}
+
 // Drain closes the instance's stream and returns the final result,
 // bit-for-bit identical to a serial HashRandPr run under the same seed.
 // Idempotent.

@@ -11,8 +11,11 @@
 //	GET    /v1/instances                 list instances with live metrics
 //	GET    /v1/instances/{id}            one instance's status
 //	POST   /v1/instances/{id}/elements   batched element ingest → admit/drop verdicts
+//	                                     (JSON, or the zero-allocation binary codec
+//	                                     negotiated via Content-Type — see binary.go)
 //	POST   /v1/instances/{id}/drain      close the stream → final Result (idempotent)
 //	DELETE /v1/instances/{id}            drain and remove the instance
+//	GET    /v1/policies                  registered admission policies + descriptions
 //	GET    /metrics                      Prometheus text exposition
 //	GET    /healthz                      liveness probe
 //
@@ -98,6 +101,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, pool: NewPool(cfg.MaxInstances), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/instances", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/instances", s.handleList)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/instances/{id}", s.handleStatus)
 	s.mux.HandleFunc("POST /v1/instances/{id}/elements", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/instances/{id}/drain", s.handleDrain)
@@ -257,6 +261,12 @@ func (s *Server) instance(w http.ResponseWriter, r *http.Request) (*Instance, bo
 // Batches are atomic: every element is validated before any is submitted,
 // so a malformed batch changes nothing. On success the response carries
 // the immediate admit/drop verdict of every element.
+//
+// The wire codec is negotiated per request by Content-Type:
+// application/x-osp-batch takes the zero-allocation binary path
+// (handleIngestBinary, answered with application/x-osp-verdicts); any
+// other content type decodes as the JSON shapes below, byte-for-byte
+// compatible with pre-binary servers and clients.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	in, ok := s.instance(w, r)
 	if !ok {
@@ -264,6 +274,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.pool.Closed() {
 		writeError(w, http.StatusServiceUnavailable, "%v", ErrPoolClosed)
+		return
+	}
+	if isBinaryBatch(r) {
+		s.handleIngestBinary(w, r, in)
 		return
 	}
 	var req IngestRequest
@@ -355,6 +369,20 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePolicies reports the registered admission policies:
+// GET /v1/policies. The rows come straight from the core policy
+// registry, so a policy registered at runtime (core.RegisterPolicy)
+// appears here without any server change — clients discover what this
+// server offers instead of hardcoding the built-in names.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	infos := core.PolicyInfos()
+	resp := PoliciesResponse{Policies: make([]PolicyDescription, len(infos))}
+	for i, info := range infos {
+		resp.Policies[i] = PolicyDescription{Name: info.Name, Description: info.Description}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders the Prometheus exposition: GET /metrics.

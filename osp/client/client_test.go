@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -255,4 +256,207 @@ func TestClientErrors(t *testing.T) {
 func isStatus(err error, code int) bool {
 	var apiErr *client.APIError
 	return errors.As(err, &apiErr) && apiErr.StatusCode == code
+}
+
+// startServerWith is startServer with client options.
+func startServerWith(t *testing.T, opts ...client.Option) (*client.Client, *osp.Server) {
+	t.Helper()
+	srv := osp.NewServer(osp.ServerConfig{})
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) }) //nolint:errcheck
+	c, err := client.New(hs.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+// startLegacyServer emulates a server predating the binary codec: it
+// strips the negotiating Content-Type before the real handler sees the
+// request, so binary frames hit the JSON decoder and 400 — exactly what
+// a pre-binary server does.
+func startLegacyServer(t *testing.T, opts ...client.Option) *client.Client {
+	t.Helper()
+	srv := osp.NewServer(osp.ServerConfig{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Content-Type")
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) }) //nolint:errcheck
+	c, err := client.New(hs.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// ingestAll streams the whole instance in batches and sums the verdict
+// memberships.
+func ingestAll(ctx context.Context, t *testing.T, h *client.Instance, inst *osp.Instance, batch int) (admitted, dropped int) {
+	t.Helper()
+	for off := 0; off < len(inst.Elements); off += batch {
+		end := min(off+batch, len(inst.Elements))
+		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range verdicts {
+			admitted += len(v.Admitted)
+			dropped += len(v.Dropped)
+		}
+	}
+	return admitted, dropped
+}
+
+// TestCodecEquivalence is the client-side codec contract: the same
+// stream ingested with CodecJSON and CodecBinary produces identical
+// verdict aggregates and bit-for-bit identical drained results, both
+// equal to the serial oracle.
+func TestCodecEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const seed = 23
+	inst := uniform(t, 40, 2000, 5, 8)
+	serial, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := map[client.Codec]*osp.Result{}
+	admits := map[client.Codec]int{}
+	for _, codec := range []client.Codec{client.CodecJSON, client.CodecBinary} {
+		c, _ := startServerWith(t, client.WithCodec(codec))
+		h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.Codec(); got != codec.String() {
+			t.Errorf("forced %v: Codec() = %q", codec, got)
+		}
+		adm, _ := ingestAll(ctx, t, h, inst, 170)
+		admits[codec] = adm
+		res, err := h.Drain(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[codec] = res
+	}
+	if admits[client.CodecJSON] != admits[client.CodecBinary] {
+		t.Errorf("admitted memberships differ: json %d, binary %d",
+			admits[client.CodecJSON], admits[client.CodecBinary])
+	}
+	if !results[client.CodecJSON].Equal(results[client.CodecBinary]) {
+		t.Errorf("drained results differ across codecs")
+	}
+	if !results[client.CodecBinary].Equal(serial) {
+		t.Errorf("binary-codec result differs from the serial oracle")
+	}
+}
+
+// TestCodecAutoNegotiatesBinary pins the happy path of CodecAuto: on a
+// binary-capable server the first ingest settles on the binary codec.
+func TestCodecAutoNegotiatesBinary(t *testing.T) {
+	ctx := context.Background()
+	inst := uniform(t, 20, 200, 3, 5)
+	c, _ := startServer(t)
+	h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Codec(); got != "auto" {
+		t.Errorf("before first ingest: Codec() = %q, want auto", got)
+	}
+	if _, err := h.Ingest(ctx, inst.Elements[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Codec(); got != "binary" {
+		t.Errorf("after first ingest: Codec() = %q, want binary", got)
+	}
+}
+
+// TestCodecAutoFallsBackToJSON pins the compatibility path: against a
+// pre-binary server, CodecAuto retries the first batch as JSON, sticks
+// with JSON, and the run still verifies against the serial oracle.
+func TestCodecAutoFallsBackToJSON(t *testing.T) {
+	ctx := context.Background()
+	const seed = 31
+	inst := uniform(t, 30, 900, 4, 6)
+	c := startLegacyServer(t)
+	h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(ctx, t, h, inst, 128)
+	if got := h.Codec(); got != "json" {
+		t.Errorf("after fallback: Codec() = %q, want json", got)
+	}
+	res, err := h.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(serial) {
+		t.Errorf("fallback run differs from the serial oracle")
+	}
+}
+
+// TestCodecBinaryForcedSurfacesRejection: with CodecBinary pinned, a
+// server without the codec is an error, not a silent downgrade.
+func TestCodecBinaryForcedSurfacesRejection(t *testing.T) {
+	ctx := context.Background()
+	inst := uniform(t, 10, 50, 3, 4)
+	c := startLegacyServer(t, client.WithCodec(client.CodecBinary))
+	h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Ingest(ctx, inst.Elements[:10]); !isStatus(err, http.StatusBadRequest) {
+		t.Errorf("forced binary against a legacy server: err = %v, want 400 APIError", err)
+	}
+}
+
+// TestCodecAutoInvalidBatchStays400: the fallback must not mask a
+// genuinely invalid batch — the JSON retry's authoritative 400 comes
+// back, and valid batches keep flowing afterwards.
+func TestCodecAutoInvalidBatchStays400(t *testing.T) {
+	ctx := context.Background()
+	inst := uniform(t, 10, 50, 3, 4)
+	c, _ := startServer(t)
+	h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []osp.Element{{Members: []osp.SetID{42}, Capacity: 1}} // out of range
+	if _, err := h.Ingest(ctx, bad); !isStatus(err, http.StatusBadRequest) {
+		t.Errorf("invalid batch: err = %v, want 400 APIError", err)
+	}
+	if _, err := h.Ingest(ctx, inst.Elements[:10]); err != nil {
+		t.Errorf("valid batch after a 400: %v", err)
+	}
+}
+
+// TestClientPolicies covers the discovery endpoint through the client.
+func TestClientPolicies(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t)
+	infos, err := c.Policies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, info := range infos {
+		if info.Description == "" {
+			t.Errorf("policy %q has no description", info.Name)
+		}
+		found[info.Name] = true
+	}
+	for _, name := range osp.PolicyNames() {
+		if !found[name] {
+			t.Errorf("registered policy %q missing from Policies()", name)
+		}
+	}
 }

@@ -156,6 +156,15 @@ func RunEngine(inst *Instance, seed uint64, cfg EngineConfig) (*Result, error) {
 // EngineConfig.Policy and in a service registration's policy field.
 func PolicyNames() []string { return core.PolicyNames() }
 
+// PolicyInfo pairs a registered admission-policy name with its one-line
+// description — the rows the admission service's GET /v1/policies
+// discovery endpoint serves.
+type PolicyInfo = core.PolicyInfo
+
+// PolicyInfos returns every registered policy with its description,
+// sorted by name.
+func PolicyInfos() []PolicyInfo { return core.PolicyInfos() }
+
 // DefaultPolicy is the admission policy used when none is named: the
 // paper's randPr.
 const DefaultPolicy = core.DefaultPolicy
