@@ -23,10 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
@@ -130,6 +132,7 @@ func run(args []string, w io.Writer) error {
 	var admitted, dropped uint64
 	start := time.Now()
 	batches := 0
+	lat := make([]time.Duration, 0, (len(inst.Elements)+*batch-1)/(*batch))
 	for off := 0; off < len(inst.Elements); off += *batch {
 		if *rate > 0 {
 			target := start.Add(time.Duration(float64(off) / *rate * float64(time.Second)))
@@ -138,7 +141,9 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 		end := min(off+*batch, len(inst.Elements))
+		sent := time.Now()
 		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
+		lat = append(lat, time.Since(sent))
 		if err != nil {
 			// Drain the instance anyway so the server side stops cleanly,
 			// and surface both errors — as engine.Replay does for a
@@ -162,6 +167,9 @@ func run(args []string, w io.Writer) error {
 	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
 	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d requests, codec %s)\n",
 		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches, h.Codec())
+	p50, p95, p99 := latencyPercentiles(lat)
+	fmt.Fprintf(w, "latency:  per-batch client-observed p50 %v, p95 %v, p99 %v\n",
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
 	fmt.Fprintf(w, "verdicts: %d admitted, %d dropped memberships\n", admitted, dropped)
 	fmt.Fprintf(w, "goodput:  %d sets completed, weight %.1f of %.1f offered\n",
 		len(res.Completed), res.Benefit, inst.TotalWeight())
@@ -211,6 +219,25 @@ func startEmbedded() (stop func(), addr string, err error) {
 		srv.Shutdown(ctx) //nolint:errcheck
 	}
 	return stop, ln.Addr().String(), nil
+}
+
+// latencyPercentiles sorts the recorded per-batch round-trip times and
+// returns the p50/p95/p99 order statistics (nearest-rank on a sorted
+// copy; zero durations for an empty sample).
+func latencyPercentiles(lat []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	slices.Sort(sorted)
+	rank := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
 }
 
 // rateString formats the pacing target.

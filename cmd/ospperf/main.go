@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hashpr"
+	"repro/internal/obs"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
 	"repro/osp"
@@ -60,7 +61,12 @@ type Report struct {
 	// state hidden behind an opaque wrapper, forcing interface dispatch
 	// in the shard loop — the "before" of the VectorState fast-path
 	// comparison (the engine rows above are the "after").
-	EngineInterface ShardBench    `json:"engine_interface"`
+	EngineInterface ShardBench `json:"engine_interface"`
+	// EngineTelemetry re-runs the shards=4 engine row with full
+	// observability attached — sampled decision log (hot drainer, nil
+	// sink) plus queue-wait and decide histograms — proving telemetry
+	// keeps the hot path at 0 allocs/element. Included in -failonalloc.
+	EngineTelemetry ShardBench    `json:"engine_telemetry"`
 	Policies        []PolicyBench `json:"policies"`
 	// Service is the end-to-end networked ingest path (embedded HTTP
 	// server, real client, loopback TCP), one row per wire codec.
@@ -219,6 +225,14 @@ func run(args []string, w io.Writer) error {
 		rep.EngineInterface.Shards, rep.EngineInterface.NsPerElement,
 		rep.EngineInterface.ElementsPerSec, rep.EngineInterface.AllocsPerElement)
 
+	rep.EngineTelemetry, err = benchEngineTelemetry(inst, *reps, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "engine shards=%d (telemetry on): %.1f ns/element, %.0f elements/s, allocs/element %.3f\n",
+		rep.EngineTelemetry.Shards, rep.EngineTelemetry.NsPerElement,
+		rep.EngineTelemetry.ElementsPerSec, rep.EngineTelemetry.AllocsPerElement)
+
 	for _, wl := range []struct {
 		name string
 		inst *setsystem.Instance
@@ -275,7 +289,7 @@ func run(args []string, w io.Writer) error {
 		if rep.Decide.AllocsPerElement > 0 {
 			return fmt.Errorf("decide kernel allocates %.3f/element, want 0", rep.Decide.AllocsPerElement)
 		}
-		for _, sb := range append(append([]ShardBench(nil), rep.Engine...), rep.EngineInterface) {
+		for _, sb := range append(append([]ShardBench(nil), rep.Engine...), rep.EngineInterface, rep.EngineTelemetry) {
 			if sb.AllocsPerElement > 0 {
 				return fmt.Errorf("engine shards=%d allocates %.3f/element in steady state, want 0", sb.Shards, sb.AllocsPerElement)
 			}
@@ -473,6 +487,47 @@ func benchEngineInterface(inst *setsystem.Instance, reps int, seed int64) (Shard
 	}
 	ns, allocs, err := benchEngineConfig(inst,
 		engine.Config{Shards: shards, BatchSize: 128, QueueDepth: 8}, opaquePolicy{pol}, reps, seed)
+	if err != nil {
+		return ShardBench{}, err
+	}
+	n := inst.NumElements()
+	return ShardBench{
+		Shards:           shards,
+		Elements:         n,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
+}
+
+// benchEngineTelemetry is the telemetry-enabled engine row: the shards=4
+// configuration with a sampled decision log (drainer flushing every
+// millisecond into a discarding log) and queue-wait/decide histograms
+// attached — the exact instrumentation ospserve wires up. Its
+// allocs/element must stay 0: sampling copies members into a
+// preallocated shard scratch buffer and records into preallocated
+// rings, so telemetry never touches the allocator on the hot path
+// (DESIGN.md §13).
+func benchEngineTelemetry(inst *setsystem.Instance, reps int, seed int64) (ShardBench, error) {
+	const shards = 4
+	dlog := obs.NewDecisionLog(obs.DecisionLogConfig{
+		SampleEvery: 64, RingSize: 1024, FlushEvery: time.Millisecond,
+	})
+	defer dlog.Close()
+	pol, err := core.LookupPolicy(core.DefaultPolicy)
+	if err != nil {
+		return ShardBench{}, err
+	}
+	var qwait, decide obs.Histogram
+	cfg := engine.Config{
+		Shards: shards, BatchSize: 128, QueueDepth: 8,
+		Telemetry: &obs.EngineTelemetry{
+			Decisions: dlog.Logger("bench", pol.Name(), shards),
+			QueueWait: &qwait,
+			Decide:    &decide,
+		},
+	}
+	ns, allocs, err := benchEngineConfig(inst, cfg, pol, reps, seed)
 	if err != nil {
 		return ShardBench{}, err
 	}

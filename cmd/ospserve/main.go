@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/setsystem"
 	"repro/internal/workload"
 	"repro/osp"
@@ -80,10 +81,19 @@ func run(args []string, w io.Writer) error {
 		report  = fs.Duration("report", 0, "live metrics interval (0 = final report only)")
 		seed    = fs.Int64("seed", 1, "random seed (workload and shared priority seed)")
 		verify  = fs.Bool("verify", false, "also run serial hashRandPr and check bit-for-bit equality")
+		decLog  = fs.String("decision-log", "", `sampled decision log sink: a JSON-lines file path, or "-" for stderr ("" = disabled)`)
+		decEach = fs.Int("decision-sample", 1024, "decision log: record every Nth decision per shard (1 = all)")
+		pprofOn = fs.Bool("pprof", false, "service mode: mount net/http/pprof at /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	dlog, closeLog, err := openDecisionLog(*decLog, *decEach)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
 
 	if *listen != "" {
 		stop := make(chan os.Signal, 1)
@@ -91,6 +101,7 @@ func run(args []string, w io.Writer) error {
 		defer signal.Stop(stop)
 		return runService(*listen, osp.ServerConfig{
 			MaxInstances: *maxInst, MaxBatch: *maxBat, MaxBodyBytes: *maxBody,
+			Decisions: dlog, EnablePprof: *pprofOn,
 		}, w, stop, nil)
 	}
 
@@ -106,6 +117,15 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "instance: %v\n", inst)
 
 	cfg := engine.Config{Shards: *shards, BatchSize: *batch, QueueDepth: *queue, Policy: *policy}
+	if dlog != nil {
+		pol, err := core.LookupPolicy(*policy)
+		if err != nil {
+			return err
+		}
+		cfg.Telemetry = &obs.EngineTelemetry{
+			Decisions: dlog.Logger("replay", pol.Name(), cfg.Resolved().Shards),
+		}
+	}
 	eng, err := engine.New(core.InfoOf(inst), uint64(*seed), cfg)
 	if err != nil {
 		return err
@@ -154,6 +174,36 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "verify: engine output identical to serial %s oracle (seed %d)\n", pol.Name(), *seed)
 	}
 	return nil
+}
+
+// openDecisionLog builds the sampled decision log selected by the
+// -decision-log flag. "" disables logging (nil log, no-op close); "-"
+// or "stderr" streams JSON lines to stderr; anything else truncates and
+// writes that file. The returned close function flushes the log's rings
+// and the sink's buffer — callers must run it after the last engine has
+// drained so the tail of the stream is captured.
+func openDecisionLog(path string, every int) (*osp.DecisionLog, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	var sink *osp.JSONLSink
+	switch path {
+	case "-", "stderr":
+		// Hide os.Stderr's Close from the sink: flushing on exit is
+		// wanted, closing the process's stderr is not.
+		sink = osp.NewJSONLSink(struct{ io.Writer }{os.Stderr})
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("decision-log: %w", err)
+		}
+		sink = osp.NewJSONLSink(f)
+	}
+	dlog := osp.NewDecisionLog(osp.DecisionLogConfig{SampleEvery: every, Sink: sink})
+	return dlog, func() {
+		dlog.Close()
+		sink.Close()
+	}, nil
 }
 
 // runService mounts the networked admission service and blocks until a

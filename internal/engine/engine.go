@@ -41,8 +41,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/setsystem"
 )
 
@@ -95,6 +97,13 @@ type Config struct {
 	// registered policy produces results reproducible across shard counts
 	// under a fixed seed.
 	Policy string
+	// Telemetry attaches optional observability to the shard loops:
+	// sampled decision logging and queue-wait/decide histograms
+	// (internal/obs). Nil disables every probe. With telemetry attached
+	// the hot path stays at zero allocations per element — sampling is a
+	// shard-local countdown and the ring slots are preallocated (DESIGN.md
+	// §13) — so enabling it in production is safe by construction.
+	Telemetry *obs.EngineTelemetry
 }
 
 // Resolved returns the config with zero fields resolved to the defaults
@@ -143,6 +152,14 @@ type Batch struct {
 	Members []setsystem.SetID
 	Offs    []int32 // len = n+1; Offs[0] == 0
 	Caps    []int32 // len = n
+
+	// base is the global arrival index of the batch's first element —
+	// the submitted counter before this batch — giving every sampled
+	// decision a stable element index without per-element bookkeeping.
+	base uint64
+	// enq is the flush time, read by the shard to observe queue wait.
+	// Only stamped when telemetry is attached.
+	enq time.Time
 }
 
 // add bulk-copies one element into the batch.
@@ -210,6 +227,7 @@ type Engine struct {
 	policy  string           // resolved policy name
 	decider core.PolicyState // read-only after New; shared by all shards
 	vector  *core.VectorState
+	tel     *obs.EngineTelemetry // nil: no telemetry probes
 	shards  []*shard
 	wg      sync.WaitGroup
 	batch   *Batch
@@ -224,6 +242,13 @@ type Engine struct {
 type shard struct {
 	in       chan *Batch
 	assigned []int32
+	idx      int // shard index, keys the telemetry ring
+	// scratch preserves a sampled element's member order across
+	// DecideInPlace (which reorders the batch buffer) so the verdict
+	// bitmask can be computed against the wire order. It grows to the
+	// largest sampled membership once and is then reused — no
+	// steady-state allocation.
+	scratch []setsystem.SetID
 }
 
 // New builds an engine over the given up-front information (weights and
@@ -257,6 +282,7 @@ func NewWithPolicy(info core.Info, pol core.Policy, seed uint64, cfg Config) (*E
 		info:    info,
 		policy:  pol.Name(),
 		decider: state,
+		tel:     cfg.Telemetry,
 		shards:  make([]*shard, cfg.Shards),
 		batch:   new(Batch),
 	}
@@ -280,6 +306,7 @@ func NewWithPolicy(info core.Info, pol core.Policy, seed uint64, cfg Config) (*E
 		s := &shard{
 			in:       make(chan *Batch, cfg.QueueDepth),
 			assigned: make([]int32, info.NumSets()),
+			idx:      i,
 		}
 		e.shards[i] = s
 		e.wg.Add(1)
@@ -291,15 +318,41 @@ func NewWithPolicy(info core.Info, pol core.Policy, seed uint64, cfg Config) (*E
 // run is the shard worker loop: decide every element of every inbound
 // batch with the policy's pure decide rule and count assignments locally.
 // No locks, no shared writes — only the amortized per-batch metrics
-// publication.
+// publication. With telemetry attached the loop additionally observes
+// queue wait and decide time once per batch and, for every sampled
+// element (a shard-local countdown), records the decision into the
+// shard's preallocated ring — all of it allocation-free, which is what
+// keeps the telemetry-enabled alloc gate at zero.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	vec := e.vector
+	var slog *obs.ShardLog
+	var qwait, decide *obs.Histogram
+	if e.tel != nil {
+		slog = e.tel.Decisions.Shard(s.idx)
+		qwait = e.tel.QueueWait
+		decide = e.tel.Decide
+	}
 	for b := range s.in {
+		var t0 time.Time
+		if qwait != nil || decide != nil {
+			t0 = time.Now()
+			if qwait != nil && !b.enq.IsZero() {
+				qwait.Observe(t0.Sub(b.enq))
+			}
+		}
+		base := b.base
 		n := b.Len()
 		var assigned, dropped uint64
 		for i := 0; i < n; i++ {
 			members := b.Members[b.Offs[i]:b.Offs[i+1]]
+			// A sampled element's members are copied to shard scratch
+			// before the decide reorders them, so the verdict mask can be
+			// computed against the canonical wire order.
+			sampled := slog != nil && slog.Sample()
+			if sampled {
+				s.scratch = append(s.scratch[:0], members...)
+			}
 			// The batch buffer is engine-owned scratch, so the policy may
 			// reorder it in place — no per-element copy on the hot path.
 			// Vector policies take the devirtualized direct call.
@@ -314,11 +367,45 @@ func (e *Engine) run(s *shard) {
 			}
 			assigned += uint64(len(choice))
 			dropped += uint64(len(members) - len(choice))
+			if sampled {
+				slog.Record(obs.Record{
+					Element:      base + uint64(i),
+					Verdict:      verdictMask(s.scratch, choice),
+					TimeUnixNano: time.Now().UnixNano(),
+					Members:      int32(len(members)),
+					Admitted:     int32(len(choice)),
+				})
+			}
+		}
+		if decide != nil {
+			decide.Observe(time.Since(t0))
 		}
 		e.metrics.observeBatch(uint64(n), assigned, dropped)
 		b.Reset()
 		e.putBatch(b)
 	}
+}
+
+// verdictMask builds the admit bitmask of a sampled decision: bit i set
+// means members[i] — the element's i-th membership in canonical
+// ascending SetID order — was admitted. Both slices are ascending
+// (members is the pre-decide copy, choice is the winning prefix sorted
+// by the policy contract), so one merge scan suffices. Memberships past
+// bit 63 are truncated; Decision.Members still reports the true width.
+func verdictMask(members, choice []setsystem.SetID) uint64 {
+	var mask uint64
+	limit := len(members)
+	if limit > 64 {
+		limit = 64
+	}
+	j := 0
+	for i := 0; i < limit && j < len(choice); i++ {
+		if members[i] == choice[j] {
+			mask |= 1 << uint(i)
+			j++
+		}
+	}
+	return mask
 }
 
 // getBatch pulls a recycled batch, falling back to allocation only if the
@@ -394,7 +481,10 @@ func (e *Engine) SubmitBatch(b *Batch) error {
 	if st == StateIdle {
 		e.state.Store(int32(StateStreaming))
 	}
-	e.metrics.submitted.Add(uint64(n))
+	b.base = e.metrics.submitted.Add(uint64(n)) - uint64(n)
+	if e.tel != nil {
+		b.enq = time.Now()
+	}
 	e.shards[e.next].in <- b
 	e.next = (e.next + 1) % len(e.shards)
 	return nil
@@ -453,7 +543,10 @@ func (e *Engine) flush() {
 	if n == 0 {
 		return
 	}
-	e.metrics.submitted.Add(uint64(n))
+	e.batch.base = e.metrics.submitted.Add(uint64(n)) - uint64(n)
+	if e.tel != nil {
+		e.batch.enq = time.Now()
+	}
 	e.shards[e.next].in <- e.batch
 	e.next = (e.next + 1) % len(e.shards)
 	e.batch = e.getBatch()

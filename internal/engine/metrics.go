@@ -26,7 +26,7 @@ type Metrics struct {
 
 	completedSets   atomic.Int64  // set at Drain
 	completedWeight atomic.Uint64 // float64 bits, set at Drain
-	finishedAt      atomic.Int64  // unix nanos, 0 while streaming
+	elapsedNanos    atomic.Int64  // pinned at Drain, 0 while streaming
 }
 
 func (m *Metrics) start() { m.startedAt = time.Now() }
@@ -39,11 +39,18 @@ func (m *Metrics) observeBatch(elements, assigned, dropped uint64) {
 	m.dropped.Add(dropped)
 }
 
-// finish records the drain-time completion totals.
+// finish records the drain-time completion totals and pins the stream's
+// elapsed time, so post-drain snapshots (and the metrics series derived
+// from them — osp_engine_elapsed_seconds, elements_per_second) are
+// stable instead of drifting with the wall clock on every scrape.
 func (m *Metrics) finish(res *core.Result) {
 	m.completedSets.Store(int64(len(res.Completed)))
 	m.completedWeight.Store(math.Float64bits(res.Benefit))
-	m.finishedAt.Store(time.Now().UnixNano())
+	if d := int64(time.Since(m.startedAt)); d > 0 {
+		m.elapsedNanos.Store(d)
+	} else {
+		m.elapsedNanos.Store(1) // clamp: pinned means nonzero
+	}
 }
 
 // Snapshot is a point-in-time copy of the counters with derived rates.
@@ -81,8 +88,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		CompletedSets:   int(m.completedSets.Load()),
 		CompletedWeight: math.Float64frombits(m.completedWeight.Load()),
 	}
-	if end := m.finishedAt.Load(); end != 0 {
-		s.Elapsed = time.Unix(0, end).Sub(m.startedAt)
+	if d := m.elapsedNanos.Load(); d != 0 {
+		s.Elapsed = time.Duration(d)
 	} else {
 		s.Elapsed = time.Since(m.startedAt)
 	}

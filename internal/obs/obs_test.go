@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket function: boundaries are powers
+// of two, every observation lands in the smallest bucket whose upper
+// bound holds it, and totals are exact.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{128, 0},              // == 2^7, first bound
+		{129, 1},              // just above
+		{256, 1},              // == 2^8
+		{257, 2},              //
+		{time.Microsecond, 3}, // 1000 ns <= 1024 = 2^10 → idx 3
+		{17 * time.Second, HistogramBuckets - 1},
+		{18 * time.Second, HistogramBuckets}, // above 2^34 ns → +Inf
+		{-5, 0},                              // clamped
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.d)
+		s := h.Snapshot()
+		got := -1
+		for i, n := range s.Buckets {
+			if n == 1 {
+				got = i
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%v): landed in bucket %d, want %d", c.d, got, c.want)
+		}
+		if s.Count != 1 {
+			t.Errorf("Observe(%v): count %d, want 1", c.d, s.Count)
+		}
+	}
+
+	// Bounds are increasing powers of two.
+	for i := 1; i < HistogramBuckets; i++ {
+		if BucketBound(i) != 2*BucketBound(i-1) {
+			t.Fatalf("bucket %d bound %v is not double bucket %d bound %v",
+				i, BucketBound(i), i-1, BucketBound(i-1))
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// totals must be exact (run under -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i*w) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestHistogramQuantile sanity-checks the quantile upper bound.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(200 * time.Nanosecond) // bucket le=256ns
+	}
+	h.Observe(10 * time.Millisecond)
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 256*time.Nanosecond {
+		t.Errorf("p50 = %v, want 256ns", q)
+	}
+	if q := s.Quantile(1); q < 10*time.Millisecond || q > 20*time.Millisecond {
+		t.Errorf("p100 = %v, want a power-of-two bound >= 10ms", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+// TestDecisionLogFlush drives records through the ring → drainer → sink
+// pipeline and checks nothing is lost and ordering per shard is
+// preserved.
+func TestDecisionLogFlush(t *testing.T) {
+	sink := &MemorySink{}
+	d := NewDecisionLog(DecisionLogConfig{
+		SampleEvery: 1, RingSize: 64, Tail: 32,
+		FlushEvery: time.Hour, // manual flushes only
+		Sink:       sink,
+	})
+	defer d.Close()
+	l := d.Logger("i-1", "randpr", 2)
+
+	for i := 0; i < 40; i++ {
+		shard := i % 2
+		l.Shard(shard).Record(Record{
+			Element: uint64(i), Verdict: 0b101, Members: 3, Admitted: 2,
+			TimeUnixNano: int64(1000 + i),
+		})
+	}
+	d.Flush()
+
+	recs := sink.Decisions()
+	if len(recs) != 40 {
+		t.Fatalf("sink holds %d decisions, want 40", len(recs))
+	}
+	// Per shard, element indices must be in record order.
+	last := map[int32]uint64{}
+	for _, r := range recs {
+		if r.Instance != "i-1" || r.Policy != "randpr" {
+			t.Fatalf("record carries identity %s/%s", r.Instance, r.Policy)
+		}
+		if prev, ok := last[r.Shard]; ok && r.Element <= prev {
+			t.Fatalf("shard %d out of order: %d after %d", r.Shard, r.Element, prev)
+		}
+		last[r.Shard] = r.Element
+	}
+
+	flushed, dropped := d.Stats()
+	if flushed != 40 || dropped != 0 {
+		t.Fatalf("stats flushed=%d dropped=%d, want 40/0", flushed, dropped)
+	}
+
+	// The tail retains the most recent 32, newest last.
+	tail, ok := d.Tail("i-1", 0)
+	if !ok || len(tail) != 32 {
+		t.Fatalf("tail length %d (ok=%v), want 32", len(tail), ok)
+	}
+	if got := len(mustTail(t, d, "i-1", 5)); got != 5 {
+		t.Fatalf("bounded tail length %d, want 5", got)
+	}
+}
+
+func mustTail(t *testing.T, d *DecisionLog, id string, max int) []Decision {
+	t.Helper()
+	recs, ok := d.Tail(id, max)
+	if !ok {
+		t.Fatalf("no tail for %s", id)
+	}
+	return recs
+}
+
+// TestDecisionRingOverflowDrops fills a ring past capacity without
+// draining: the overflow must be dropped and counted, never blocking or
+// overwriting published records.
+func TestDecisionRingOverflowDrops(t *testing.T) {
+	d := NewDecisionLog(DecisionLogConfig{
+		SampleEvery: 1, RingSize: 8, FlushEvery: time.Hour,
+	})
+	defer d.Close()
+	l := d.Logger("i-1", "randpr", 1)
+	s := l.Shard(0)
+	for i := 0; i < 20; i++ {
+		s.Record(Record{Element: uint64(i)})
+	}
+	d.Flush()
+	flushed, dropped := d.Stats()
+	if flushed != 8 || dropped != 12 {
+		t.Fatalf("flushed=%d dropped=%d, want 8/12", flushed, dropped)
+	}
+	tail := mustTail(t, d, "i-1", 0)
+	for i, r := range tail {
+		if r.Element != uint64(i) {
+			t.Fatalf("tail[%d].Element = %d: overflow overwrote a published record", i, r.Element)
+		}
+	}
+}
+
+// TestDecisionSampling pins the every-Nth countdown: exactly every 4th
+// decision is recorded.
+func TestDecisionSampling(t *testing.T) {
+	d := NewDecisionLog(DecisionLogConfig{
+		SampleEvery: 4, RingSize: 256, FlushEvery: time.Hour,
+	})
+	defer d.Close()
+	if d.SampleEvery() != 4 {
+		t.Fatalf("SampleEvery = %d, want 4", d.SampleEvery())
+	}
+	s := d.Logger("i-1", "randpr", 1).Shard(0)
+	var hits int
+	for i := 0; i < 100; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("sampled %d of 100 with every=4, want 25", hits)
+	}
+}
+
+// TestDecisionLogRemove flushes the removed instance's residue and
+// forgets its tail.
+func TestDecisionLogRemove(t *testing.T) {
+	sink := &MemorySink{}
+	d := NewDecisionLog(DecisionLogConfig{SampleEvery: 1, FlushEvery: time.Hour, Sink: sink})
+	defer d.Close()
+	l := d.Logger("i-9", "first-fit", 1)
+	l.Shard(0).Record(Record{Element: 7})
+	d.Remove("i-9")
+	if sink.Len() != 1 {
+		t.Fatalf("remove flushed %d records, want 1", sink.Len())
+	}
+	if _, ok := d.Tail("i-9", 0); ok {
+		t.Fatal("tail still served after Remove")
+	}
+	d.Remove("i-9") // idempotent
+}
+
+// TestNilLoggerAndOutOfRangeShard pins the nil-safety the engine relies
+// on: a nil logger and an out-of-range shard both yield a nil ShardLog.
+func TestNilLoggerAndOutOfRangeShard(t *testing.T) {
+	var l *DecisionLogger
+	if l.Shard(0) != nil {
+		t.Fatal("nil logger returned a shard")
+	}
+	d := NewDecisionLog(DecisionLogConfig{FlushEvery: time.Hour})
+	defer d.Close()
+	got := d.Logger("i-1", "randpr", 2)
+	if got.Shard(2) != nil || got.Shard(-1) != nil {
+		t.Fatal("out-of-range shard index returned a ring")
+	}
+}
+
+// TestJSONLSink checks the one-object-per-line format round-trips.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	recs := []Decision{
+		{Instance: "i-1", Policy: "randpr", Element: 3, Shard: 1, Members: 4, Admitted: 2, Verdict: 0b0110, TimeUnixNano: 42},
+		{Instance: "i-1", Policy: "randpr", Element: 9},
+	}
+	if err := s.WriteDecisions(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var got Decision
+	if err := json.Unmarshal(lines[0], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != recs[0] {
+		t.Fatalf("round trip: got %+v, want %+v", got, recs[0])
+	}
+}
+
+// TestDrainerFlushesPeriodically exercises the asynchronous path end to
+// end: records become visible in the sink without any manual Flush.
+func TestDrainerFlushesPeriodically(t *testing.T) {
+	sink := &MemorySink{}
+	d := NewDecisionLog(DecisionLogConfig{
+		SampleEvery: 1, FlushEvery: time.Millisecond, Sink: sink,
+	})
+	defer d.Close()
+	s := d.Logger("i-1", "randpr", 1).Shard(0)
+	s.Record(Record{Element: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("drainer never flushed the record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlushSteadyStateZeroAlloc pins the constraint the engine's
+// telemetry-enabled alloc gate depends on: with no sink configured, a
+// warm record→flush cycle allocates nothing — rings, tail slots and
+// snapshot scratch are all preallocated.
+func TestFlushSteadyStateZeroAlloc(t *testing.T) {
+	d := NewDecisionLog(DecisionLogConfig{
+		SampleEvery: 1, RingSize: 128, Tail: 64, FlushEvery: time.Hour,
+	})
+	defer d.Close()
+	s := d.Logger("i-1", "randpr", 1).Shard(0)
+
+	// Warm: grow flushSnap and wrap the tail once.
+	for i := 0; i < 100; i++ {
+		s.Record(Record{Element: uint64(i)})
+	}
+	d.Flush()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 64; i++ {
+			s.Record(Record{Element: uint64(i)})
+		}
+		d.Flush()
+	})
+	if allocs != 0 {
+		t.Fatalf("sink-less record+flush cycle allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestConcurrentRecordAndFlush races one producer against the drainer
+// and a tail reader (meaningful under -race): every record must come
+// out exactly once across sink batches.
+func TestConcurrentRecordAndFlush(t *testing.T) {
+	sink := &MemorySink{}
+	d := NewDecisionLog(DecisionLogConfig{
+		SampleEvery: 1, RingSize: 1024, FlushEvery: 100 * time.Microsecond, Sink: sink,
+	})
+	l := d.Logger("i-1", "randpr", 1)
+	s := l.Shard(0)
+	const total = 50000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			s.Record(Record{Element: uint64(i)})
+			if i%4096 == 0 {
+				time.Sleep(50 * time.Microsecond) // let the drainer catch up
+			}
+		}
+	}()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+			d.Tail("i-1", 16)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flushed, dropped := d.Stats()
+	if flushed+dropped != total {
+		t.Fatalf("flushed %d + dropped %d != produced %d", flushed, dropped, total)
+	}
+	if got := uint64(sink.Len()); got != flushed {
+		t.Fatalf("sink holds %d, drainer flushed %d", got, flushed)
+	}
+}

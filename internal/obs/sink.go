@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives flushed decision batches from the drainer goroutine.
+// Implementations may block briefly (they only ever delay the drainer,
+// never a shard) and must be safe for use from one goroutine at a time.
+type Sink interface {
+	// WriteDecisions persists one flushed batch. The slice is reused by
+	// the drainer after the call returns and must not be retained.
+	WriteDecisions([]Decision) error
+}
+
+// JSONLSink writes each decision as one JSON object per line — the
+// decision log's file/stderr format (schema in docs/OPERATIONS.md).
+// Writes are buffered; Close flushes. Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when the sink owns the underlying file
+	err error     // first write error, reported once per Write after
+}
+
+// NewJSONLSink wraps a writer. If w implements io.Closer the sink's
+// Close closes it (after flushing).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 64<<10)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// WriteDecisions implements Sink.
+func (s *JSONLSink) WriteDecisions(recs []Decision) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range recs {
+		raw, err := json.Marshal(&recs[i])
+		if err != nil {
+			return err
+		}
+		if _, err := s.w.Write(raw); err != nil {
+			s.err = err
+			return err
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return s.w.Flush()
+}
+
+// Close flushes the buffer and closes the underlying writer when it is
+// closable.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemorySink retains every flushed decision — the test double, and the
+// capture buffer for trace replay experiments.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Decision
+}
+
+// WriteDecisions implements Sink.
+func (s *MemorySink) WriteDecisions(recs []Decision) error {
+	s.mu.Lock()
+	s.recs = append(s.recs, recs...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Decisions copies out everything retained so far.
+func (s *MemorySink) Decisions() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Decision(nil), s.recs...)
+}
+
+// Len reports the retained decision count.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}

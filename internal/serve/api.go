@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/setsystem"
 )
 
@@ -192,6 +193,22 @@ type PolicyDescription struct {
 // PoliciesResponse is the body of GET /v1/policies, sorted by name.
 type PoliciesResponse struct {
 	Policies []PolicyDescription `json:"policies"`
+}
+
+// DecisionsResponse is the body of GET /v1/instances/{id}/decisions:
+// the most recent flushed entries of the instance's sampled decision
+// log, oldest first (newest last). Available only when the server runs
+// with a decision log (ospserve -decision-log); otherwise the endpoint
+// answers 404.
+type DecisionsResponse struct {
+	Instance string `json:"instance"`
+	// SampleEvery is the log's per-shard sampling period: every Nth
+	// decision of each shard is recorded. 1 means every decision.
+	SampleEvery int `json:"sample_every"`
+	// Decisions is the retained tail, bounded by the log's tail size and
+	// the request's ?n= parameter. The entry schema is obs.Decision,
+	// identical to the JSON-lines sink format (docs/OPERATIONS.md).
+	Decisions []obs.Decision `json:"decisions"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/setsystem"
@@ -85,6 +86,7 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request, in *
 	sc := scratchPool.Get().(*ingestScratch)
 	defer scratchPool.Put(sc)
 
+	decodeStart := time.Now()
 	body, err := readBody(w, r, s.cfg.MaxBodyBytes, sc.body[:0])
 	sc.body = body
 	if err != nil {
@@ -123,6 +125,7 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request, in *
 		writeError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}
+	s.obs.ingestDecode.Observe(time.Since(decodeStart))
 
 	// Pack the verdict frame before submitting: ownership of the batch
 	// buffers passes to a shard at SubmitBatch, and the shard may reset

@@ -3,9 +3,11 @@ package serve
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Prometheus text-format exporter (exposition format version 0.0.4) for
@@ -57,9 +59,11 @@ var perInstanceMetrics = []metricDef{
 }
 
 // writeMetrics renders the whole exposition: per-state instance gauges,
-// then every per-instance series.
-func writeMetrics(w io.Writer, p *Pool) {
-	instances := p.Instances()
+// every per-instance engine series, then the server-level telemetry —
+// per-stage latency histograms, HTTP outcome counters, decision-log
+// counters, build info and Go runtime gauges.
+func writeMetrics(w io.Writer, s *Server) {
+	instances := s.pool.Instances()
 
 	states := map[engine.State]int{}
 	for _, in := range instances {
@@ -106,6 +110,111 @@ func writeMetrics(w io.Writer, p *Pool) {
 	for i, in := range instances {
 		fmt.Fprintf(w, "osp_engine_shards{%s} %d\n", labels[i], in.Shards())
 	}
+
+	writeStageHistograms(w, &s.obs)
+	writeHTTPCounters(w, &s.obs.http)
+	writeDecisionLogMetrics(w, s.obs.decisions)
+	writeRuntimeMetrics(w)
+}
+
+// writeStageHistograms renders the four pipeline-stage latency
+// histograms as one native Prometheus histogram family keyed by the
+// stage label. Buckets are the power-of-two bounds of obs.Histogram
+// rendered cumulatively, with the mandatory +Inf bucket equal to
+// _count.
+func writeStageHistograms(w io.Writer, o *serverObs) {
+	const name = "osp_stage_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Latency by pipeline stage: ingest_decode (wire payload to validated elements), queue_wait (batch flush to shard dequeue), decide (shard whole-batch policy decide), request (full HTTP round trip).\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	stages := []struct {
+		stage string
+		h     *obs.Histogram
+	}{
+		{"ingest_decode", &o.ingestDecode},
+		{"queue_wait", &o.queueWait},
+		{"decide", &o.decide},
+		{"request", &o.request},
+	}
+	for _, st := range stages {
+		snap := st.h.Snapshot()
+		var cum uint64
+		for i := 0; i < obs.HistogramBuckets; i++ {
+			cum += snap.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n",
+				name, st.stage, formatFloat(obs.BucketBound(i)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, st.stage, snap.Count)
+		fmt.Fprintf(w, "%s_sum{stage=%q} %s\n", name, st.stage, formatFloat(snap.SumSecs))
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, st.stage, snap.Count)
+	}
+}
+
+// writeHTTPCounters renders osp_http_requests_total{handler,code}: one
+// counter per (matched mux pattern, status code) pair that has
+// occurred, so error rates are visible next to engine progress.
+func writeHTTPCounters(w io.Writer, h *httpStats) {
+	fmt.Fprintf(w, "# HELP osp_http_requests_total HTTP requests by matched route pattern and status code.\n")
+	fmt.Fprintf(w, "# TYPE osp_http_requests_total counter\n")
+	keys, vals := h.snapshot()
+	for i, k := range keys {
+		fmt.Fprintf(w, "osp_http_requests_total{handler=%q,code=\"%d\"} %d\n",
+			escapeLabel(k.handler), k.code, vals[i])
+	}
+}
+
+// writeDecisionLogMetrics renders the decision log's lifetime counters
+// and resolved sampling period. Nothing is rendered when the log is
+// disabled — absent series, not zeros, so dashboards can distinguish
+// "off" from "idle".
+func writeDecisionLogMetrics(w io.Writer, d *obs.DecisionLog) {
+	if d == nil {
+		return
+	}
+	flushed, dropped := d.Stats()
+	fmt.Fprintf(w, "# HELP osp_decision_log_flushed_total Sampled decisions flushed to the tail and sink.\n")
+	fmt.Fprintf(w, "# TYPE osp_decision_log_flushed_total counter\n")
+	fmt.Fprintf(w, "osp_decision_log_flushed_total %d\n", flushed)
+	fmt.Fprintf(w, "# HELP osp_decision_log_dropped_total Sampled decisions dropped on full rings (drainer backlog).\n")
+	fmt.Fprintf(w, "# TYPE osp_decision_log_dropped_total counter\n")
+	fmt.Fprintf(w, "osp_decision_log_dropped_total %d\n", dropped)
+	fmt.Fprintf(w, "# HELP osp_decision_log_sample_every Per-shard sampling period: every Nth decision is recorded.\n")
+	fmt.Fprintf(w, "# TYPE osp_decision_log_sample_every gauge\n")
+	fmt.Fprintf(w, "osp_decision_log_sample_every %d\n", d.SampleEvery())
+}
+
+// writeRuntimeMetrics renders build info and the Go runtime gauges.
+func writeRuntimeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP osp_build_info Build metadata (value is always 1; the labels carry the information).\n")
+	fmt.Fprintf(w, "# TYPE osp_build_info gauge\n")
+	fmt.Fprintf(w, "osp_build_info{go_version=%q,version=%q,revision=%q} 1\n",
+		escapeLabel(buildMeta.goVersion), escapeLabel(buildMeta.version), escapeLabel(buildMeta.revision))
+
+	rt := readRuntimeStats()
+	fmt.Fprintf(w, "# HELP osp_go_goroutines Live goroutines.\n")
+	fmt.Fprintf(w, "# TYPE osp_go_goroutines gauge\n")
+	fmt.Fprintf(w, "osp_go_goroutines %d\n", rt.goroutines)
+	fmt.Fprintf(w, "# HELP osp_go_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	fmt.Fprintf(w, "# TYPE osp_go_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "osp_go_heap_alloc_bytes %d\n", rt.heapBytes)
+	fmt.Fprintf(w, "# HELP osp_go_heap_objects Live heap objects.\n")
+	fmt.Fprintf(w, "# TYPE osp_go_heap_objects gauge\n")
+	fmt.Fprintf(w, "osp_go_heap_objects %d\n", rt.heapObjects)
+	fmt.Fprintf(w, "# HELP osp_go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(w, "# TYPE osp_go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "osp_go_gc_pause_seconds_total %s\n", formatFloat(rt.gcPauseSecs))
+	fmt.Fprintf(w, "# HELP osp_go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE osp_go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "osp_go_gc_cycles_total %d\n", rt.gcCycles)
+	fmt.Fprintf(w, "# HELP osp_go_next_gc_bytes Heap size at which the next GC cycle triggers.\n")
+	fmt.Fprintf(w, "# TYPE osp_go_next_gc_bytes gauge\n")
+	fmt.Fprintf(w, "osp_go_next_gc_bytes %d\n", rt.nextGCBytes)
+}
+
+// formatFloat renders a float the shortest way that parses back exactly
+// — the representation used for histogram bounds and sums, where a
+// lossy rendering would break bucket identity across scrapes.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
 // instanceLabels renders an instance's identifying label pairs. The

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/setsystem"
 )
 
@@ -180,6 +181,24 @@ type Pool struct {
 	nextID int
 	max    int
 	closed bool
+
+	// Telemetry hooks, set once before serving (SetTelemetry). attachTel
+	// builds the telemetry bundle a new engine records into; detachTel
+	// flushes and forgets an instance's decision logger when the instance
+	// is removed or its registration rolls back.
+	attachTel func(id, policy string, shards int) *obs.EngineTelemetry
+	detachTel func(id string)
+}
+
+// SetTelemetry installs the pool's telemetry hooks: attach is called
+// during Register with the new instance's ID, resolved policy name and
+// resolved shard count, and its return value becomes the engine's
+// Telemetry config; detach is called when an instance is removed (or a
+// registration fails after attach). Either may be nil. Must be called
+// before the pool serves registrations.
+func (p *Pool) SetTelemetry(attach func(id, policy string, shards int) *obs.EngineTelemetry, detach func(id string)) {
+	p.attachTel = attach
+	p.detachTel = detach
 }
 
 // NewPool returns a pool admitting at most max concurrent instances
@@ -211,8 +230,22 @@ func (p *Pool) Register(spec Spec) (*Instance, error) {
 	id := "i-" + strconv.Itoa(p.nextID)
 	p.mu.Unlock()
 
-	eng, err := engine.New(spec.Info, spec.Seed, spec.Engine)
+	// Resolve the policy here (rather than inside engine.New) so the
+	// telemetry attach hook sees the resolved name the engine will report.
+	pol, err := core.LookupPolicy(spec.Engine.Policy)
 	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	detach := func() {}
+	if p.attachTel != nil {
+		spec.Engine.Telemetry = p.attachTel(id, pol.Name(), spec.Engine.Resolved().Shards)
+		if p.detachTel != nil {
+			detach = func() { p.detachTel(id) }
+		}
+	}
+	eng, err := engine.NewWithPolicy(spec.Info, pol, spec.Seed, spec.Engine)
+	if err != nil {
+		detach()
 		return nil, err
 	}
 	in := &Instance{
@@ -232,10 +265,12 @@ func (p *Pool) Register(spec Spec) (*Instance, error) {
 	case p.closed:
 		p.mu.Unlock()
 		eng.Drain() //nolint:errcheck // fresh engine, nothing streamed
+		detach()
 		return nil, ErrPoolClosed
 	case len(p.byID) >= p.max:
 		p.mu.Unlock()
 		eng.Drain() //nolint:errcheck
+		detach()
 		return nil, fmt.Errorf("%w (max %d)", ErrPoolFull, p.max)
 	}
 	p.byID[in.id] = in
@@ -252,7 +287,9 @@ func (p *Pool) Get(id string) (*Instance, bool) {
 }
 
 // Remove drains the instance (stopping its shard workers) and deletes it
-// from the pool, freeing its memory.
+// from the pool, freeing its memory. Its decision logger — if telemetry
+// is attached — is flushed and unregistered, so sampled decisions
+// already in the rings still reach the sink.
 func (p *Pool) Remove(id string) error {
 	p.mu.Lock()
 	in, ok := p.byID[id]
@@ -262,6 +299,9 @@ func (p *Pool) Remove(id string) error {
 		return ErrUnknownInstance
 	}
 	_, err := in.Drain()
+	if p.detachTel != nil {
+		p.detachTel(id)
+	}
 	return err
 }
 

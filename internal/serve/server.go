@@ -15,9 +15,14 @@
 //	                                     negotiated via Content-Type — see binary.go)
 //	POST   /v1/instances/{id}/drain      close the stream → final Result (idempotent)
 //	DELETE /v1/instances/{id}            drain and remove the instance
+//	GET    /v1/instances/{id}/decisions  tail of the sampled decision log
+//	                                     (404 unless Config.Decisions is set)
 //	GET    /v1/policies                  registered admission policies + descriptions
-//	GET    /metrics                      Prometheus text exposition
+//	GET    /metrics                      Prometheus text exposition (engine counters,
+//	                                     per-stage latency histograms, HTTP outcome
+//	                                     counters, runtime gauges, build info)
 //	GET    /healthz                      liveness probe
+//	GET    /debug/pprof/                 net/http/pprof (only with Config.EnablePprof)
 //
 // Verdicts are computed synchronously in the handler from the engine's
 // shared priority vector — the same pure decision rule the shards apply —
@@ -37,9 +42,13 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/setsystem"
 )
 
@@ -54,6 +63,18 @@ type Config struct {
 	// MaxBodyBytes bounds every request body; 0 means 256 MiB. Larger
 	// bodies are rejected with 413 — nothing is buffered past the limit.
 	MaxBodyBytes int64
+	// Decisions enables the sampled decision log: every registered
+	// engine samples admission decisions into it, the tail is served
+	// from GET /v1/instances/{id}/decisions, and the log's counters
+	// appear in /metrics. Nil disables decision logging (the endpoint
+	// answers 404). The server does not own the log's lifecycle — the
+	// caller that created it closes it after Shutdown.
+	Decisions *obs.DecisionLog
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ — the
+	// standard profiling surface, off by default because it exposes
+	// goroutine stacks and heap contents to anyone who can reach the
+	// port.
+	EnablePprof bool
 }
 
 // Hard caps on client-supplied engine sizing: a registration is a cheap
@@ -93,12 +114,15 @@ type Server struct {
 	cfg  Config
 	pool *Pool
 	mux  *http.ServeMux
+	obs  serverObs
 }
 
 // New builds a Server with a fresh pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, pool: NewPool(cfg.MaxInstances), mux: http.NewServeMux()}
+	s.obs.decisions = cfg.Decisions
+	s.pool.SetTelemetry(s.obs.attach, s.obs.detach)
 	s.mux.HandleFunc("POST /v1/instances", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/instances", s.handleList)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
@@ -106,13 +130,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/instances/{id}/elements", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/instances/{id}/drain", s.handleDrain)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleRemove)
+	s.mux.HandleFunc("GET /v1/instances/{id}/decisions", s.handleDecisions)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, wrapping every route in the
+// instrumentation middleware (end-to-end latency histogram + outcome
+// counters).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.observe(w, r) }
 
 // Pool exposes the engine pool (the daemon uses it for shutdown
 // reporting; tests use it to reach instances directly).
@@ -280,6 +314,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.handleIngestBinary(w, r, in)
 		return
 	}
+	decodeStart := time.Now()
 	var req IngestRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -300,6 +335,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}
+	s.obs.ingestDecode.Observe(time.Since(decodeStart))
 	if err := in.Ingest(els); err != nil {
 		if errors.Is(err, engine.ErrDrained) {
 			// Distinguish a client-drained instance (terminal, 409) from
@@ -385,10 +421,46 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleDecisions serves the sampled decision log's tail:
+// GET /v1/instances/{id}/decisions[?n=max]. Rings are flushed
+// synchronously first, so the response reflects decisions made up to
+// this request, not up to the drainer's last pass. Answers 404 when the
+// server runs without a decision log.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	dlog := s.obs.decisions
+	if dlog == nil {
+		writeError(w, http.StatusNotFound, "decision log disabled (start the server with -decision-log)")
+		return
+	}
+	max := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "decisions: n must be a positive integer, got %q", q)
+			return
+		}
+		max = n
+	}
+	dlog.Flush()
+	recs, _ := dlog.Tail(in.ID(), max)
+	if recs == nil {
+		recs = []obs.Decision{}
+	}
+	writeJSON(w, http.StatusOK, DecisionsResponse{
+		Instance:    in.ID(),
+		SampleEvery: dlog.SampleEvery(),
+		Decisions:   recs,
+	})
+}
+
 // handleMetrics renders the Prometheus exposition: GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, s.pool)
+	writeMetrics(w, s)
 }
 
 // handleHealthz is the liveness probe: GET /healthz.

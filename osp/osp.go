@@ -46,6 +46,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hashpr"
 	"repro/internal/lowerbound"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/partial"
 	"repro/internal/serve"
@@ -114,6 +115,39 @@ type (
 
 	// Solution is an offline packing with its weight.
 	Solution = offline.Solution
+
+	// DecisionLog is the sampled decision log: bounded lock-free
+	// per-shard rings capture every Nth admission decision, a drainer
+	// goroutine flushes them asynchronously to per-instance tails and an
+	// optional sink, and the hot path stays at zero allocations per
+	// element (DESIGN.md §13). Create with NewDecisionLog, wire it into
+	// ServerConfig.Decisions (or an EngineTelemetry directly) and Close
+	// it when done.
+	DecisionLog = obs.DecisionLog
+	// DecisionLogConfig sizes a DecisionLog: sample rate, ring and tail
+	// capacities, flush period and sink. The zero value is usable.
+	DecisionLogConfig = obs.DecisionLogConfig
+	// Decision is one sampled admission decision — the record the
+	// decision log ships to sinks and the
+	// GET /v1/instances/{id}/decisions endpoint serves.
+	Decision = obs.Decision
+	// DecisionSink receives flushed decision batches (JSON-lines and
+	// in-memory implementations ship with the package; see NewJSONLSink).
+	DecisionSink = obs.Sink
+	// JSONLSink is the JSON-lines DecisionSink: one JSON object per
+	// decision, buffered, flushed per batch and on Close.
+	JSONLSink = obs.JSONLSink
+	// EngineTelemetry bundles the instruments an engine records into:
+	// a decision logger plus queue-wait and decide-latency histograms.
+	// Attach via EngineConfig.Telemetry; any field may be nil.
+	EngineTelemetry = obs.EngineTelemetry
+	// Histogram is the fixed power-of-two-bucket latency histogram the
+	// telemetry layer uses: one atomic add per observation, no locks, no
+	// allocations.
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a point-in-time copy of a Histogram with
+	// merge and quantile helpers.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // ComputeStats scans an instance and returns its parameter statistics
@@ -200,6 +234,19 @@ const (
 // ready-made traffic source that cross-checks drained results against
 // the serial NewHashRandPr oracle.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// NewDecisionLog builds a sampled decision log and starts its drainer
+// goroutine. Wire it into ServerConfig.Decisions to enable the
+// service's decision endpoint and sampling on every registered engine,
+// or hand out loggers directly via DecisionLog.Logger for in-process
+// engines. Close flushes the remaining records and stops the drainer.
+func NewDecisionLog(cfg DecisionLogConfig) *DecisionLog { return obs.NewDecisionLog(cfg) }
+
+// NewJSONLSink wraps a writer as a decision sink emitting one JSON
+// object per decision per line — the ospserve -decision-log format,
+// documented in docs/OPERATIONS.md. If w is an io.Closer, the sink's
+// Close closes it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 
 // NewRandPr returns the paper's randomized algorithm: per-set priorities
 // drawn from R_w(S), each element assigned to its highest-priority
