@@ -13,6 +13,8 @@
 //	osploadgen -n 200000 -rate 0        # full speed, report the sustained rate
 //	osploadgen -policy first-fit -n 100000  # register a non-default policy
 //	osploadgen -codec json -n 200000    # force the JSON wire path (-codec binary forces binary)
+//	osploadgen -transport stream -n 500000  # pipelined frames over one TCP connection
+//	osploadgen -addr http://host:8080 -stream-addr host:8081 -transport stream
 //	osploadgen -policy randpr-weighted -zipf 1.2  # skewed Zipf(1.2) set weights,
 //	                                    # where the weighted variant actually diverges
 package main
@@ -57,6 +59,9 @@ func run(args []string, w io.Writer) error {
 		shards   = fs.Int("shards", 0, "server-side engine shards (0 = server default)")
 		policy   = fs.String("policy", "", "admission policy: "+strings.Join(osp.PolicyNames(), ", ")+` ("" = server default randpr)`)
 		codec    = fs.String("codec", "auto", "ingest wire codec: auto (binary with JSON fallback), json, binary")
+		trans    = fs.String("transport", "http", "ingest transport: http (one request per batch) or stream (pipelined frames over one TCP connection)")
+		pipeline = fs.Int("pipeline", 8, "stream transport: batches kept in flight (capped by the server's window)")
+		strmAddr = fs.String("stream-addr", "", "host:port of the server's stream listener (ospserve -stream-listen); defaults to the embedded server's")
 		zipf     = fs.Float64("zipf", 0, "Zipf exponent s for skewed set weights w(S_i) ∝ 1/(i+1)^s (0 = unit weights)")
 		label    = fs.String("label", "loadgen", "metrics label for the registered instance")
 		verify   = fs.Bool("verify", true, "cross-check the drained result against the policy's serial oracle")
@@ -78,6 +83,14 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown codec %q (auto, json, binary)", *codec)
 	}
+	switch *trans {
+	case "http", "stream":
+	default:
+		return fmt.Errorf("unknown transport %q (http, stream)", *trans)
+	}
+	if *pipeline < 1 {
+		return fmt.Errorf("pipeline depth must be >= 1, got %d", *pipeline)
+	}
 	var weightFn func(i int) float64
 	if *zipf > 0 {
 		// The skewed-weight scenario: without it, randpr-weighted decides
@@ -98,19 +111,30 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "workload: %v\n", inst)
 
 	base := *addr
+	streamAddr := *strmAddr
 	embedded := ""
 	if base == "" {
-		stopEmbedded, bound, err := startEmbedded()
+		stopEmbedded, bound, streamBound, err := startEmbedded()
 		if err != nil {
 			return err
 		}
 		defer stopEmbedded()
 		base = "http://" + bound
+		if streamAddr == "" {
+			streamAddr = streamBound
+		}
 		embedded = " (embedded)"
+	}
+	if *trans == "stream" && streamAddr == "" {
+		return errors.New("-transport stream against a remote server needs -stream-addr (ospserve -stream-listen)")
 	}
 
 	ctx := context.Background()
-	c, err := client.New(base, client.WithCodec(wireCodec))
+	opts := []client.Option{client.WithCodec(wireCodec)}
+	if streamAddr != "" {
+		opts = append(opts, client.WithStreamAddr(streamAddr))
+	}
+	c, err := client.New(base, opts...)
 	if err != nil {
 		return err
 	}
@@ -132,31 +156,107 @@ func run(args []string, w io.Writer) error {
 	var admitted, dropped uint64
 	start := time.Now()
 	batches := 0
+	codecName := ""
 	lat := make([]time.Duration, 0, (len(inst.Elements)+*batch-1)/(*batch))
-	for off := 0; off < len(inst.Elements); off += *batch {
+	pace := func(off int) {
 		if *rate > 0 {
 			target := start.Add(time.Duration(float64(off) / *rate * float64(time.Second)))
 			if d := time.Until(target); d > 0 {
 				time.Sleep(d)
 			}
 		}
-		end := min(off+*batch, len(inst.Elements))
-		sent := time.Now()
-		verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
-		lat = append(lat, time.Since(sent))
+	}
+
+	ingestHTTP := func() error {
+		for off := 0; off < len(inst.Elements); off += *batch {
+			pace(off)
+			end := min(off+*batch, len(inst.Elements))
+			sent := time.Now()
+			verdicts, err := h.Ingest(ctx, inst.Elements[off:end])
+			lat = append(lat, time.Since(sent))
+			if err != nil {
+				return fmt.Errorf("ingest batch at %d (policy %s): %w", off, h.Policy(), err)
+			}
+			for _, v := range verdicts {
+				admitted += uint64(len(v.Admitted))
+				dropped += uint64(len(v.Dropped))
+			}
+			batches++
+		}
+		codecName = h.Codec()
+		return nil
+	}
+
+	// ingestStream runs the pipeline dance: keep up to -pipeline batches
+	// in flight on one connection, collect the oldest verdict frame when
+	// the window is full, then drain the tail after CloseSend. Latency is
+	// send-to-verdict per batch, so under deep pipelining it includes the
+	// time a batch spends queued behind its predecessors.
+	ingestStream := func() error {
+		st, err := h.OpenStream(ctx)
 		if err != nil {
-			// Drain the instance anyway so the server side stops cleanly,
-			// and surface both errors — as engine.Replay does for a
-			// mid-stream Submit failure.
-			_, derr := h.Drain(ctx)
-			return errors.Join(
-				fmt.Errorf("ingest batch at %d (policy %s): %w", off, h.Policy(), err), derr)
+			return err
 		}
-		for _, v := range verdicts {
-			admitted += uint64(len(v.Admitted))
-			dropped += uint64(len(v.Dropped))
+		defer st.Close()
+		depth := min(*pipeline, st.Window())
+		type inFlight struct {
+			off, end int
+			sent     time.Time
 		}
-		batches++
+		queue := make([]inFlight, 0, depth)
+		collect := func() error {
+			fl := queue[0]
+			queue = queue[1:]
+			els := inst.Elements[fl.off:fl.end]
+			err := st.Recv(func(i int, adm []osp.SetID) {
+				admitted += uint64(len(adm))
+				dropped += uint64(len(els[i].Members) - len(adm))
+			})
+			lat = append(lat, time.Since(fl.sent))
+			if err != nil {
+				return fmt.Errorf("stream verdicts for batch at %d (policy %s): %w", fl.off, h.Policy(), err)
+			}
+			batches++
+			return nil
+		}
+		for off := 0; off < len(inst.Elements); off += *batch {
+			pace(off)
+			if len(queue) == depth {
+				if err := collect(); err != nil {
+					return err
+				}
+			}
+			end := min(off+*batch, len(inst.Elements))
+			if err := st.Send(inst.Elements[off:end]); err != nil {
+				return fmt.Errorf("stream send at %d: %w", off, err)
+			}
+			queue = append(queue, inFlight{off, end, time.Now()})
+		}
+		if err := st.CloseSend(); err != nil {
+			return err
+		}
+		for len(queue) > 0 {
+			if err := collect(); err != nil {
+				return err
+			}
+		}
+		if err := st.Recv(func(int, []osp.SetID) {}); err != io.EOF {
+			return fmt.Errorf("stream fin: %v", err)
+		}
+		codecName = h.Codec() // "stream" while the stream is open
+		return nil
+	}
+
+	ingest := ingestHTTP
+	if *trans == "stream" {
+		ingest = ingestStream
+	}
+	if err := ingest(); err != nil {
+		// Drain the instance anyway so the server side stops cleanly,
+		// and surface both errors — as engine.Replay does for a
+		// mid-stream Submit failure.
+		_, derr := h.Drain(ctx)
+		return errors.Join(err, derr)
 	}
 	elapsed := time.Since(start)
 
@@ -165,8 +265,8 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
-	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d requests, codec %s)\n",
-		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches, h.Codec())
+	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d batches, transport %s, codec %s)\n",
+		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches, *trans, codecName)
 	p50, p95, p99 := latencyPercentiles(lat)
 	fmt.Fprintf(w, "latency:  per-batch client-observed p50 %v, p95 %v, p99 %v\n",
 		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
@@ -202,23 +302,31 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// startEmbedded runs a full admission service on a loopback listener in
+// startEmbedded runs a full admission service on loopback listeners in
 // this process — the zero-setup path for benchmarking and CI smoke runs.
-func startEmbedded() (stop func(), addr string, err error) {
+// Both transports are live: the HTTP API on addr, the stream transport
+// on streamAddr (Server.Shutdown closes the stream listener).
+func startEmbedded() (stop func(), addr, streamAddr string, err error) {
 	srv := osp.NewServer(osp.ServerConfig{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
+	}
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return nil, "", "", err
 	}
 	hs := &http.Server{Handler: srv}
-	go hs.Serve(ln) //nolint:errcheck // closed via stop
+	go hs.Serve(ln)         //nolint:errcheck // closed via stop
+	go srv.ServeStream(sln) //nolint:errcheck // closed via stop
 	stop = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(ctx)  //nolint:errcheck
 		srv.Shutdown(ctx) //nolint:errcheck
 	}
-	return stop, ln.Addr().String(), nil
+	return stop, ln.Addr().String(), sln.Addr().String(), nil
 }
 
 // latencyPercentiles sorts the recorded per-batch round-trip times and

@@ -53,6 +53,41 @@ func TestLoadgenPolicies(t *testing.T) {
 	}
 }
 
+// TestLoadgenStreamTransport runs the pipelined stream path against the
+// embedded server: the oracle check must pass, and the report must name
+// both the transport and the stream codec it actually used.
+func TestLoadgenStreamTransport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-m", "40", "-n", "6000", "-load", "4", "-batch", "250",
+		"-seed", "9", "-transport", "stream", "-pipeline", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"transport stream, codec stream",
+		"latency:  per-batch client-observed p50",
+		"verify:   drained result bit-for-bit identical",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+
+	if err := run([]string{"-transport", "bogus", "-n", "10"}, &buf); err == nil {
+		t.Error("bogus transport accepted")
+	}
+	if err := run([]string{"-pipeline", "0", "-n", "10"}, &buf); err == nil {
+		t.Error("pipeline depth 0 accepted")
+	}
+	// A remote server without a stream address cannot carry the stream
+	// transport.
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-transport", "stream", "-n", "10"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "stream-addr") {
+		t.Errorf("remote stream without -stream-addr = %v, want config error", err)
+	}
+}
+
 // TestLoadgenUnknownPolicy pins the registry rejection surfacing through
 // the client as a 400.
 func TestLoadgenUnknownPolicy(t *testing.T) {

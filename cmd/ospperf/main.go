@@ -1,23 +1,24 @@
 // Command ospperf measures the admission hot path and emits the tracked
-// benchmark baseline (BENCH_3.json): ns/element and allocs/element for the
+// benchmark baseline (BENCH_4.json): ns/element and allocs/element for the
 // top-k decide kernel (against the sort-based path it replaced), the
 // serial runner, the streaming engine across a shard-count matrix (plus
 // an interface-dispatch row proving the VectorState fast path is ≥
 // neutral), every registered admission policy on both the uniform and
 // the skewed Zipf-weight workload, and — the service-level mode — the
-// full networked ingest path over an embedded HTTP server, JSON codec
-// versus the zero-allocation binary codec.
+// full networked ingest path over an embedded server: JSON over HTTP,
+// the zero-allocation binary codec over HTTP, and the same binary
+// frames pipelined over the raw-TCP stream transport.
 //
 // Usage:
 //
-//	ospperf                       # full matrix, writes BENCH_3.json
+//	ospperf                       # full matrix, writes BENCH_4.json
 //	ospperf -quick -out /dev/null # CI smoke sizes
 //	ospperf -failonalloc          # exit 1 on any allocs/element > 0
 //
 // The JSON is the regression contract: future PRs rerun ospperf and
-// compare (engine rows must stay within noise of BENCH_2.json; the
-// binary service rows anchor the wire-path win). CI runs the -quick
-// -failonalloc mode on every push and uploads the artifact.
+// compare (engine rows must stay within noise of BENCH_3.json; the
+// binary and stream service rows anchor the wire-path win). CI runs the
+// -quick -failonalloc mode on every push and uploads the artifact.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -45,9 +47,9 @@ import (
 	"repro/osp/client"
 )
 
-// Report is the schema of BENCH_3.json (a superset of BENCH_2.json's:
-// engine_interface, the per-policy workload column and the service
-// section are new).
+// Report is the schema of BENCH_4.json (a superset of BENCH_3.json's:
+// service rows gain a transport column, a speedup-vs-binary column, and
+// the pipelined stream-transport row).
 type Report struct {
 	Bench         string       `json:"bench"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -120,22 +122,27 @@ type PolicyBench struct {
 	MeanBenefit      float64 `json:"mean_benefit"`
 }
 
-// ServiceBench is the networked ingest path under one wire codec: the
-// matrix workload streamed through a real HTTP server on a loopback
-// socket via osp/client, timed end to end (register, batched ingest
-// with verdicts, drain). AllocsPerElement is process-wide — client
+// ServiceBench is the networked ingest path under one wire codec and
+// transport: the matrix workload streamed through a real server on
+// loopback sockets via osp/client, timed end to end (register, batched
+// ingest with verdicts, drain). Transport "http" is one keep-alive
+// request per batch; "stream" is pipelined batch frames over one
+// long-lived TCP connection. AllocsPerElement is process-wide — client
 // encode + server decode + verdict paths together — so it bounds the
 // serve-side number from above; the serve package's alloc-regression
-// test pins the decode path itself at 0. SpeedupVsJSON is filled on
-// non-JSON rows.
+// tests pin the decode paths themselves at 0. SpeedupVsJSON is filled
+// on non-JSON rows; SpeedupVsBinary compares the stream row against the
+// binary-HTTP row — the same codec, so it isolates the transport win.
 type ServiceBench struct {
 	Codec            string  `json:"codec"`
+	Transport        string  `json:"transport"`
 	Elements         int     `json:"elements"`
 	Batch            int     `json:"batch"`
 	NsPerElement     float64 `json:"ns_per_element"`
 	ElementsPerSec   float64 `json:"elements_per_sec"`
 	AllocsPerElement float64 `json:"allocs_per_element"`
 	SpeedupVsJSON    float64 `json:"speedup_vs_json,omitempty"`
+	SpeedupVsBinary  float64 `json:"speedup_vs_binary,omitempty"`
 }
 
 func main() {
@@ -148,15 +155,27 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospperf", flag.ContinueOnError)
 	var (
-		out         = fs.String("out", "BENCH_3.json", "output JSON path (- prints the JSON to stdout)")
+		out         = fs.String("out", "BENCH_4.json", "output JSON path (- prints the JSON to stdout)")
 		shardsFlag  = fs.String("shards", "1,2,4,8", "comma-separated shard counts for the engine matrix")
 		quick       = fs.Bool("quick", false, "small sizes for a CI smoke pass")
 		reps        = fs.Int("reps", 3, "timed repetitions per cell (best-of)")
 		seed        = fs.Int64("seed", 1, "workload generation seed")
 		failOnAlloc = fs.Bool("failonalloc", false, "exit nonzero if any steady-state allocs/element > 0 (service rows excluded: they include client-side JSON marshal)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	shardCounts, err := parseShards(*shardsFlag)
 	if err != nil {
@@ -252,7 +271,7 @@ func run(args []string, w io.Writer) error {
 	if *quick {
 		svcBatch = 1024
 	}
-	var jsonRate float64
+	var jsonRate, binRate float64
 	for _, codec := range []client.Codec{client.CodecJSON, client.CodecBinary} {
 		sb, err := benchService(inst, codec, svcBatch, *reps, *seed)
 		if err != nil {
@@ -260,17 +279,27 @@ func run(args []string, w io.Writer) error {
 		}
 		if codec == client.CodecJSON {
 			jsonRate = sb.ElementsPerSec
-		} else if jsonRate > 0 {
-			sb.SpeedupVsJSON = sb.ElementsPerSec / jsonRate
+		} else {
+			binRate = sb.ElementsPerSec
+			if jsonRate > 0 {
+				sb.SpeedupVsJSON = sb.ElementsPerSec / jsonRate
+			}
 		}
 		rep.Service = append(rep.Service, sb)
-		fmt.Fprintf(w, "service codec=%s: %.1f ns/element, %.0f elements/s, allocs/element %.3f",
-			sb.Codec, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
-		if sb.SpeedupVsJSON > 0 {
-			fmt.Fprintf(w, ", %.2fx JSON", sb.SpeedupVsJSON)
-		}
-		fmt.Fprintln(w)
+		printService(w, sb)
 	}
+	sb, err := benchServiceStream(inst, svcBatch, *reps, *seed)
+	if err != nil {
+		return err
+	}
+	if jsonRate > 0 {
+		sb.SpeedupVsJSON = sb.ElementsPerSec / jsonRate
+	}
+	if binRate > 0 {
+		sb.SpeedupVsBinary = sb.ElementsPerSec / binRate
+	}
+	rep.Service = append(rep.Service, sb)
+	printService(w, sb)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -301,16 +330,33 @@ func run(args []string, w io.Writer) error {
 		}
 		// Service rows are measured process-wide (client marshal included),
 		// so the JSON row legitimately allocates; the serve-side decode
-		// path's 0 allocs/element is enforced by the alloc-regression test
+		// path's 0 allocs/element is enforced by the alloc-regression tests
 		// in internal/serve instead. Still guard the binary row against
-		// gross per-element regressions.
+		// gross per-element regressions, and hold the stream row — whose
+		// client and server sides both run on pooled buffers — near zero.
 		for _, sb := range rep.Service {
-			if sb.Codec == "binary" && sb.AllocsPerElement > 1 {
+			if sb.Codec == "binary" && sb.Transport == "http" && sb.AllocsPerElement > 1 {
 				return fmt.Errorf("binary service path allocates %.3f/element process-wide, want <= 1", sb.AllocsPerElement)
+			}
+			if sb.Transport == "stream" && sb.AllocsPerElement > 0.1 {
+				return fmt.Errorf("stream service path allocates %.3f/element process-wide, want <= 0.1", sb.AllocsPerElement)
 			}
 		}
 	}
 	return nil
+}
+
+// printService renders one service row on the progress log.
+func printService(w io.Writer, sb ServiceBench) {
+	fmt.Fprintf(w, "service codec=%s transport=%s: %.1f ns/element, %.0f elements/s, allocs/element %.3f",
+		sb.Codec, sb.Transport, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
+	if sb.SpeedupVsJSON > 0 {
+		fmt.Fprintf(w, ", %.2fx JSON", sb.SpeedupVsJSON)
+	}
+	if sb.SpeedupVsBinary > 0 {
+		fmt.Fprintf(w, ", %.2fx binary-HTTP", sb.SpeedupVsBinary)
+	}
+	fmt.Fprintln(w)
 }
 
 func parseShards(s string) ([]int, error) {
@@ -605,7 +651,16 @@ func benchService(inst *setsystem.Instance, codec client.Codec, batch, reps int,
 		srv.Shutdown(ctx) //nolint:errcheck
 	}()
 
-	c, err := client.New("http://"+ln.Addr().String(), client.WithCodec(codec))
+	// Pin the HTTP client's connection reuse so the rows are comparable
+	// run to run and against the stream transport: one warm keep-alive
+	// connection, no compression — the best case HTTP can put up.
+	c, err := client.New("http://"+ln.Addr().String(), client.WithCodec(codec),
+		client.WithHTTPClient(&http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4,
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
+		}}))
 	if err != nil {
 		return ServiceBench{}, err
 	}
@@ -663,6 +718,129 @@ func benchService(inst *setsystem.Instance, codec client.Codec, batch, reps int,
 	n := inst.NumElements()
 	return ServiceBench{
 		Codec:            codec.String(),
+		Transport:        "http",
+		Elements:         n,
+		Batch:            batch,
+		NsPerElement:     float64(ns) / float64(n),
+		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
+		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
+}
+
+// benchServiceStream measures the stream-transport row: the same
+// embedded server and workload as benchService, but batches go out as
+// pipelined frames over one long-lived TCP connection (depth 8) and
+// verdicts come back as in-order frames decoded in place — no request
+// envelope, no response materialization. Registration and drain stay on
+// the HTTP API, outside the timed ingest loop's hot path but inside the
+// pass (same as the HTTP rows, so the comparison is like for like).
+func benchServiceStream(inst *setsystem.Instance, batch, reps int, seed int64) (ServiceBench, error) {
+	srv := osp.NewServer(osp.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return ServiceBench{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)         //nolint:errcheck // closed below
+	go srv.ServeStream(sln) //nolint:errcheck // closed below
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)  //nolint:errcheck
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	c, err := client.New("http://"+ln.Addr().String(),
+		client.WithStreamAddr(sln.Addr().String()))
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	ctx := context.Background()
+	const depth = 8
+	discard := func(int, []osp.SetID) {}
+	pass := func() (*core.Result, error) {
+		h, err := c.Register(ctx, client.Spec{Info: osp.InfoOf(inst), Seed: uint64(seed)})
+		if err != nil {
+			return nil, err
+		}
+		st, err := h.OpenStream(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		window := min(depth, st.Window())
+		for off := 0; off < len(inst.Elements); off += batch {
+			if st.Outstanding() == window {
+				if err := st.Recv(discard); err != nil {
+					return nil, err
+				}
+			}
+			end := min(off+batch, len(inst.Elements))
+			if err := st.Send(inst.Elements[off:end]); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.CloseSend(); err != nil {
+			return nil, err
+		}
+		for {
+			if err := st.Recv(discard); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+		res, err := h.Drain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res, h.Remove(ctx)
+	}
+
+	// Correctness first: one verified pass before any timing.
+	res, err := pass()
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	serial, err := core.Run(inst, &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(seed)}}, nil)
+	if err != nil {
+		return ServiceBench{}, err
+	}
+	if !res.Equal(serial) {
+		return ServiceBench{}, fmt.Errorf("service transport=stream: drained result differs from the serial oracle")
+	}
+
+	var passErr error
+	ns := timeBest(reps, func() {
+		if passErr != nil {
+			return
+		}
+		_, passErr = pass()
+	})
+	if passErr != nil {
+		return ServiceBench{}, passErr
+	}
+	allocs := allocsDuring(2, func() {
+		if passErr == nil {
+			_, passErr = pass()
+		}
+	})
+	if passErr != nil {
+		return ServiceBench{}, passErr
+	}
+
+	n := inst.NumElements()
+	return ServiceBench{
+		Codec:            "binary",
+		Transport:        "stream",
 		Elements:         n,
 		Batch:            batch,
 		NsPerElement:     float64(ns) / float64(n),

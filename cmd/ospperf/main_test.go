@@ -87,18 +87,29 @@ func TestQuickMatrix(t *testing.T) {
 		t.Errorf("interface-dispatch engine allocates %.3f/element, want 0", rep.EngineInterface.AllocsPerElement)
 	}
 
-	// Service rows: json then binary, binary carrying the speedup and
-	// meeting the tentpole floor (>= 4x JSON) even at smoke sizes.
-	if len(rep.Service) != 2 || rep.Service[0].Codec != "json" || rep.Service[1].Codec != "binary" {
-		t.Fatalf("service rows = %+v, want [json binary]", rep.Service)
+	// Service rows: json and binary over HTTP, then binary over the
+	// stream transport, the non-JSON rows carrying their speedups.
+	if len(rep.Service) != 3 ||
+		rep.Service[0].Codec != "json" || rep.Service[0].Transport != "http" ||
+		rep.Service[1].Codec != "binary" || rep.Service[1].Transport != "http" ||
+		rep.Service[2].Codec != "binary" || rep.Service[2].Transport != "stream" {
+		t.Fatalf("service rows = %+v, want [json/http binary/http binary/stream]", rep.Service)
 	}
 	for _, sb := range rep.Service {
 		if sb.ElementsPerSec <= 0 || sb.NsPerElement <= 0 {
-			t.Errorf("service %s: timings not populated: %+v", sb.Codec, sb)
+			t.Errorf("service %s/%s: timings not populated: %+v", sb.Codec, sb.Transport, sb)
 		}
 	}
+	// The tentpole floors (>= 4x JSON for binary-HTTP, stream faster
+	// still) even at smoke sizes.
 	if sp := rep.Service[1].SpeedupVsJSON; sp < 4 {
 		t.Errorf("binary service path is %.2fx JSON, want >= 4x", sp)
+	}
+	if sp := rep.Service[2].SpeedupVsBinary; sp <= 1 {
+		t.Errorf("stream service path is %.2fx binary-HTTP, want > 1x", sp)
+	}
+	if a := rep.Service[2].AllocsPerElement; a > 0.1 {
+		t.Errorf("stream service path allocates %.3f/element process-wide, want <= 0.1", a)
 	}
 }
 

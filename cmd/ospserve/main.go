@@ -11,9 +11,12 @@
 // service instead: an HTTP API for remote producers (register a set
 // system, stream element batches for immediate verdicts, drain the
 // final result) with Prometheus metrics at /metrics and graceful drain
-// of every live engine on SIGINT/SIGTERM. See docs/OPERATIONS.md for
-// the endpoint and metrics reference, and cmd/osploadgen for a traffic
-// source.
+// of every live engine on SIGINT/SIGTERM. -stream-listen additionally
+// mounts the raw-TCP stream transport: one long-lived connection per
+// producer carrying pipelined binary batch frames, for when even
+// keep-alive HTTP per-batch overhead is too much. See docs/OPERATIONS.md
+// for the endpoint and metrics reference, and cmd/osploadgen for a
+// traffic source.
 //
 // Usage:
 //
@@ -22,6 +25,7 @@
 //	ospserve -workload uniform -policy greedy-remaining -verify
 //	ospserve -trace trace.osp -verify
 //	ospserve -listen :8080
+//	ospserve -listen :8080 -stream-listen :8081
 package main
 
 import (
@@ -58,6 +62,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospserve", flag.ContinueOnError)
 	var (
 		listen  = fs.String("listen", "", "service mode: serve the HTTP admission API on this address (e.g. :8080)")
+		strmLn  = fs.String("stream-listen", "", "service mode: also serve the raw-TCP stream transport on this address (e.g. :8081)")
+		strmWin = fs.Int("stream-window", 0, "stream transport: pipelined batches allowed in flight per connection (0 = default 32)")
 		maxInst = fs.Int("max-instances", 0, "service mode: engine pool limit (0 = default 1024)")
 		maxBat  = fs.Int("max-batch", 0, "service mode: per-request ingest batch cap (0 = default 65536)")
 		maxBody = fs.Int64("max-body", 0, "service mode: request body byte cap (0 = default 256 MiB)")
@@ -99,9 +105,9 @@ func run(args []string, w io.Writer) error {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(stop)
-		return runService(*listen, osp.ServerConfig{
+		return runService(*listen, *strmLn, osp.ServerConfig{
 			MaxInstances: *maxInst, MaxBatch: *maxBat, MaxBodyBytes: *maxBody,
-			Decisions: dlog, EnablePprof: *pprofOn,
+			StreamWindow: *strmWin, Decisions: dlog, EnablePprof: *pprofOn,
 		}, w, stop, nil)
 	}
 
@@ -207,11 +213,12 @@ func openDecisionLog(path string, every int) (*osp.DecisionLog, func(), error) {
 }
 
 // runService mounts the networked admission service and blocks until a
-// stop signal arrives, then shuts down gracefully: the HTTP server stops
-// accepting, and every live engine is drained so in-flight elements are
-// decided, not lost. ready (may be nil) receives the bound address once
-// the listener is up — tests use it to connect to a ":0" listener.
-func runService(listen string, cfg osp.ServerConfig, w io.Writer, stop <-chan os.Signal, ready chan<- string) error {
+// stop signal arrives, then shuts down gracefully: both listeners stop
+// accepting, open streams are drained, and every live engine is drained
+// so in-flight elements are decided, not lost. ready (may be nil)
+// receives the bound HTTP address, then — when streamListen is set —
+// the bound stream address; tests use it to connect to ":0" listeners.
+func runService(listen, streamListen string, cfg osp.ServerConfig, w io.Writer, stop <-chan os.Signal, ready chan<- string) error {
 	srv := osp.NewServer(cfg)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -224,8 +231,25 @@ func runService(listen string, cfg osp.ServerConfig, w io.Writer, stop <-chan os
 	}
 
 	hs := &http.Server{Handler: srv}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- hs.Serve(ln) }()
+	if streamListen != "" {
+		sln, err := net.Listen("tcp", streamListen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ospserve: stream transport listening on %s\n", sln.Addr())
+		if ready != nil {
+			ready <- sln.Addr().String()
+		}
+		// ServeStream returns nil once Shutdown closes the listener, so
+		// only a real accept failure lands in errc.
+		go func() {
+			if err := srv.ServeStream(sln); err != nil {
+				errc <- fmt.Errorf("stream listener: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

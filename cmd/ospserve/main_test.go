@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,27 +35,29 @@ func (w *syncWriter) String() string {
 	return w.buf.String()
 }
 
-// TestServiceMode boots -listen on a random port, drives one full
-// register/ingest/drain round trip through the HTTP client with an
-// oracle check, and then shuts the daemon down gracefully via the signal
-// channel.
+// TestServiceMode boots -listen and -stream-listen on random ports,
+// drives one full register/ingest/drain round trip through the HTTP
+// client — plus a pipelined batch over the stream transport — with an
+// oracle check, and then shuts the daemon down gracefully via the
+// signal channel.
 func TestServiceMode(t *testing.T) {
 	var out syncWriter
 	stop := make(chan os.Signal, 1)
-	ready := make(chan string, 1)
+	ready := make(chan string, 2)
 	done := make(chan error, 1)
 	go func() {
-		done <- runService("127.0.0.1:0", osp.ServerConfig{}, &out, stop, ready)
+		done <- runService("127.0.0.1:0", "127.0.0.1:0", osp.ServerConfig{}, &out, stop, ready)
 	}()
-	var addr string
+	var addr, streamAddr string
 	select {
 	case addr = <-ready:
+		streamAddr = <-ready
 	case err := <-done:
 		t.Fatalf("service exited early: %v", err)
 	}
 
 	ctx := context.Background()
-	c, err := client.New("http://" + addr)
+	c, err := client.New("http://"+addr, client.WithStreamAddr(streamAddr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +75,28 @@ func TestServiceMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Ingest(ctx, inst.Elements); err != nil {
+	// Ingest over the stream transport: the daemon's second listener.
+	st, err := h.OpenStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(inst.Elements); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := 0
+	if err := st.Recv(func(int, []osp.SetID) { verdicts++ }); err != nil {
+		t.Fatal(err)
+	}
+	if verdicts != len(inst.Elements) {
+		t.Fatalf("stream answered %d verdicts for %d elements", verdicts, len(inst.Elements))
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Recv(func(int, []osp.SetID) {}); err != io.EOF {
+		t.Fatalf("Recv after fin = %v, want io.EOF", err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	res, err := h.Drain(ctx)
@@ -99,7 +123,7 @@ func TestServiceMode(t *testing.T) {
 	case <-time.After(20 * time.Second):
 		t.Fatal("service did not shut down")
 	}
-	for _, frag := range []string{"admission service listening on http://", "all engines drained, bye"} {
+	for _, frag := range []string{"admission service listening on http://", "stream transport listening on ", "all engines drained, bye"} {
 		if !strings.Contains(out.String(), frag) {
 			t.Errorf("service log missing %q:\n%s", frag, out.String())
 		}

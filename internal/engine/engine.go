@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/setsystem"
+	"repro/internal/wire"
 )
 
 // State is an engine's lifecycle position. An engine is born StateIdle,
@@ -153,6 +154,22 @@ type Batch struct {
 	Offs    []int32 // len = n+1; Offs[0] == 0
 	Caps    []int32 // len = n
 
+	// Seq, Masks and Done form the callback-verdict contract of the
+	// streaming wire path. When Done is non-nil, the deciding shard
+	// appends one wire verdict bitmask per element onto Masks — computed
+	// against the element's pre-decide member order, exactly the bits
+	// wire.AppendVerdictMask produces — and, after the batch's counters
+	// are published, invokes Done(Seq, Masks) on the shard goroutine.
+	// This is what lets a transport answer verdicts from the engine's one
+	// decide instead of running a second replica decide per element the
+	// way the HTTP handler does. The callback must not block (shards
+	// share connections); hand the masks to a buffered channel. Ownership
+	// of the Masks buffer passes back to the caller at the callback; the
+	// batch itself is recycled before Done runs and must not be touched.
+	Seq   uint32
+	Masks []byte
+	Done  func(seq uint32, masks []byte)
+
 	// base is the global arrival index of the batch's first element —
 	// the submitted counter before this batch — giving every sampled
 	// decision a stable element index without per-element bookkeeping.
@@ -175,11 +192,14 @@ func (b *Batch) add(el setsystem.Element) {
 // Len returns the number of batched elements.
 func (b *Batch) Len() int { return len(b.Caps) }
 
-// Reset empties the batch, keeping its storage.
+// Reset empties the batch, keeping its storage. The callback-verdict
+// fields are detached, not kept: a recycled batch must never fire a
+// stale Done or append onto a previous connection's mask buffer.
 func (b *Batch) Reset() {
 	b.Members = b.Members[:0]
 	b.Offs = b.Offs[:0]
 	b.Caps = b.Caps[:0]
+	b.Seq, b.Masks, b.Done = 0, nil, nil
 }
 
 // Validate checks every batched element against a universe of numSets
@@ -343,14 +363,15 @@ func (e *Engine) run(s *shard) {
 		}
 		base := b.base
 		n := b.Len()
+		wantMasks := b.Done != nil
 		var assigned, dropped uint64
 		for i := 0; i < n; i++ {
 			members := b.Members[b.Offs[i]:b.Offs[i+1]]
-			// A sampled element's members are copied to shard scratch
-			// before the decide reorders them, so the verdict mask can be
-			// computed against the canonical wire order.
+			// A sampled or mask-carrying element's members are copied to
+			// shard scratch before the decide reorders them, so the verdict
+			// mask can be computed against the canonical wire order.
 			sampled := slog != nil && slog.Sample()
-			if sampled {
+			if sampled || wantMasks {
 				s.scratch = append(s.scratch[:0], members...)
 			}
 			// The batch buffer is engine-owned scratch, so the policy may
@@ -367,6 +388,9 @@ func (e *Engine) run(s *shard) {
 			}
 			assigned += uint64(len(choice))
 			dropped += uint64(len(members) - len(choice))
+			if wantMasks {
+				b.Masks = wire.AppendVerdictMask(b.Masks, s.scratch, choice)
+			}
 			if sampled {
 				slog.Record(obs.Record{
 					Element:      base + uint64(i),
@@ -381,8 +405,14 @@ func (e *Engine) run(s *shard) {
 			decide.Observe(time.Since(t0))
 		}
 		e.metrics.observeBatch(uint64(n), assigned, dropped)
+		// Detach the callback trio before recycling: Done runs after the
+		// batch is back on the free list, so it must not see the batch.
+		seq, masks, done := b.Seq, b.Masks, b.Done
 		b.Reset()
 		e.putBatch(b)
+		if done != nil {
+			done(seq, masks)
+		}
 	}
 }
 

@@ -113,6 +113,7 @@ func writeMetrics(w io.Writer, s *Server) {
 
 	writeStageHistograms(w, &s.obs)
 	writeHTTPCounters(w, &s.obs.http)
+	writeStreamCounters(w, &s.obs.stream)
 	writeDecisionLogMetrics(w, s.obs.decisions)
 	writeRuntimeMetrics(w)
 }
@@ -124,13 +125,14 @@ func writeMetrics(w io.Writer, s *Server) {
 // _count.
 func writeStageHistograms(w io.Writer, o *serverObs) {
 	const name = "osp_stage_duration_seconds"
-	fmt.Fprintf(w, "# HELP %s Latency by pipeline stage: ingest_decode (wire payload to validated elements), queue_wait (batch flush to shard dequeue), decide (shard whole-batch policy decide), request (full HTTP round trip).\n", name)
+	fmt.Fprintf(w, "# HELP %s Latency by pipeline stage: ingest_decode (wire payload to validated elements, HTTP), stream_decode (the same on the stream transport), queue_wait (batch flush to shard dequeue), decide (shard whole-batch policy decide), request (full HTTP round trip).\n", name)
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	stages := []struct {
 		stage string
 		h     *obs.Histogram
 	}{
 		{"ingest_decode", &o.ingestDecode},
+		{"stream_decode", &o.streamDecode},
 		{"queue_wait", &o.queueWait},
 		{"decide", &o.decide},
 		{"request", &o.request},
@@ -160,6 +162,23 @@ func writeHTTPCounters(w io.Writer, h *httpStats) {
 		fmt.Fprintf(w, "osp_http_requests_total{handler=%q,code=\"%d\"} %d\n",
 			escapeLabel(k.handler), k.code, vals[i])
 	}
+}
+
+// writeStreamCounters renders the stream transport's lifetime
+// counters: connection churn, batches carried, and terminal errors.
+func writeStreamCounters(w io.Writer, st *streamStats) {
+	fmt.Fprintf(w, "# HELP osp_stream_connections_total Stream transport connections accepted.\n")
+	fmt.Fprintf(w, "# TYPE osp_stream_connections_total counter\n")
+	fmt.Fprintf(w, "osp_stream_connections_total %d\n", st.connsTotal.Load())
+	fmt.Fprintf(w, "# HELP osp_stream_connections_active Stream transport connections currently open.\n")
+	fmt.Fprintf(w, "# TYPE osp_stream_connections_active gauge\n")
+	fmt.Fprintf(w, "osp_stream_connections_active %d\n", st.connsActive.Load())
+	fmt.Fprintf(w, "# HELP osp_stream_batches_total Batch frames ingested over the stream transport.\n")
+	fmt.Fprintf(w, "# TYPE osp_stream_batches_total counter\n")
+	fmt.Fprintf(w, "osp_stream_batches_total %d\n", st.batches.Load())
+	fmt.Fprintf(w, "# HELP osp_stream_errors_total Streams ended by an error frame (either side).\n")
+	fmt.Fprintf(w, "# TYPE osp_stream_errors_total counter\n")
+	fmt.Fprintf(w, "osp_stream_errors_total %d\n", st.errors.Load())
 }
 
 // writeDecisionLogMetrics renders the decision log's lifetime counters

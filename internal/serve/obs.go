@@ -23,15 +23,18 @@ import (
 type serverObs struct {
 	decisions *obs.DecisionLog // nil: decision logging disabled
 
-	// The four pipeline stages, in request order: decoding the wire
-	// payload into elements (both codecs), a batch's wait in a shard
-	// queue, a shard's whole-batch decide, and the full HTTP round trip.
+	// The pipeline stages, in request order: decoding the wire payload
+	// into elements (both HTTP codecs), the same decode on the stream
+	// transport, a batch's wait in a shard queue, a shard's whole-batch
+	// decide, and the full HTTP round trip.
 	ingestDecode obs.Histogram
+	streamDecode obs.Histogram
 	queueWait    obs.Histogram
 	decide       obs.Histogram
 	request      obs.Histogram
 
-	http httpStats
+	http   httpStats
+	stream streamStats
 }
 
 // attach is the pool's telemetry attach hook: it hands a registering

@@ -75,6 +75,16 @@ type Config struct {
 	// goroutine stacks and heap contents to anyone who can reach the
 	// port.
 	EnablePprof bool
+	// StreamWindow is the pipelining window of the raw-TCP stream
+	// transport (ServeStream): how many unanswered batch frames one
+	// connection may have in flight. Each slot costs one pooled verdict
+	// buffer per connection. 0 means 32; values above 1024 are clamped.
+	StreamWindow int
+	// StreamDrainGrace bounds how long Shutdown lets a quiet stream
+	// connection linger: frames read within the grace window are still
+	// answered with real verdicts, then the stream ends with a
+	// "shutting down" error frame. 0 means 1 second.
+	StreamDrainGrace time.Duration
 }
 
 // Hard caps on client-supplied engine sizing: a registration is a cheap
@@ -104,6 +114,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
+	if c.StreamWindow <= 0 {
+		c.StreamWindow = 32
+	}
+	if c.StreamWindow > 1024 {
+		c.StreamWindow = 1024
+	}
+	if c.StreamDrainGrace <= 0 {
+		c.StreamDrainGrace = time.Second
+	}
 	return c
 }
 
@@ -111,10 +130,11 @@ func (c Config) withDefaults() Config {
 // to an engine pool. Create with New, mount anywhere an http.Handler
 // goes, and call Shutdown for a graceful drain of every live engine.
 type Server struct {
-	cfg  Config
-	pool *Pool
-	mux  *http.ServeMux
-	obs  serverObs
+	cfg    Config
+	pool   *Pool
+	mux    *http.ServeMux
+	obs    serverObs
+	stream streamState
 }
 
 // New builds a Server with a fresh pool.
@@ -152,10 +172,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.observe(w
 // reporting; tests use it to reach instances directly).
 func (s *Server) Pool() *Pool { return s.pool }
 
-// Shutdown gracefully closes the service: registrations and ingestion are
-// refused from this point, and every live engine is drained — in-flight
-// batches are decided, not dropped. See Pool.Shutdown.
-func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+// Shutdown gracefully closes the service: stream listeners and
+// connections quiesce first — pipelined frames already read get real
+// verdicts, then each stream ends with a "shutting down" error frame
+// (drainStreams) — and only then are registrations and ingestion
+// refused and every live engine drained, in-flight batches decided,
+// not dropped. See Pool.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainStreams(ctx)
+	return s.pool.Shutdown(ctx)
+}
 
 // writeJSON writes a JSON response body with the given status. The body
 // is marshaled before the header goes out, so an unencodable value (a

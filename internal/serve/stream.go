@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// The raw-TCP stream arm: one long-lived connection carrying pipelined
+// wire batch frames (internal/stream envelopes), answered with verdict
+// frames in batch order. It exists to amortize what the HTTP arm pays
+// per request — connection bookkeeping, header parse, scratch checkout,
+// one blocking round trip per batch — over a whole element stream, and
+// to retire the HTTP arm's double decide: stream verdicts are built by
+// the engine shard during its one decide (engine.Batch.Done), not by a
+// second handler-side replica decide. Steady state allocates nothing
+// per element.
+//
+// Per-connection machinery, after the Hello/Ack handshake:
+//
+//	masksFree  chan []byte, cap = window, pre-filled. A mask buffer IS a
+//	           window slot: the reader acquires one per batch (blocking
+//	           = backpressure on the peer via TCP), the writer returns
+//	           it after the verdict frame is on the wire.
+//	resp       chan respFrame, cap = window+1: at most window verdict
+//	           callbacks (each holds a mask buffer) plus one terminal
+//	           from the reader — so a shard's Done callback NEVER
+//	           blocks, protecting other connections sharing the shard.
+//	writer     goroutine reordering completions by sequence number: a
+//	           ring of window+1 slots holds early verdicts until their
+//	           turn; a terminal frame (Error, Fin, or the silent
+//	           dead-peer terminal) carries seq = first-unanswered, so
+//	           it is held until every verdict below it is written.
+//
+// Errors are connection-terminal here, unlike the lenient HTTP arm: a
+// malformed or out-of-sequence frame ends the stream with an Error
+// frame — routed through the same seq-ordered writer, so every batch
+// read before the error still gets its verdicts first.
+//
+// Graceful drain (Server.Shutdown): stream listeners close, live
+// connections get StreamDrainGrace to finish — frames already read are
+// answered with real verdicts because the engine pool drains only
+// AFTER the connections quiesce — then readers time out and end their
+// streams with a "shutting down" Error frame behind any pending
+// verdicts.
+
+// streamState tracks the stream listeners and live connections for
+// graceful drain.
+type streamState struct {
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*streamConn]struct{}
+	draining  bool
+	deadline  time.Time
+	wg        sync.WaitGroup // one per live connection handler
+}
+
+// streamConn is one accepted stream connection.
+type streamConn struct {
+	fc       *stream.Conn
+	draining atomic.Bool
+}
+
+// respFrame is one server→client frame routed through the seq-ordered
+// writer. typ 0 is the silent terminal — flush pending verdicts, write
+// nothing, exit — used when the peer is gone.
+type respFrame struct {
+	typ     byte
+	seq     uint32
+	payload []byte
+}
+
+// streamStats are the stream transport's lifetime counters, exported
+// as osp_stream_* in /metrics.
+type streamStats struct {
+	connsTotal  atomic.Uint64
+	connsActive atomic.Int64
+	batches     atomic.Uint64
+	errors      atomic.Uint64
+}
+
+// ServeStream accepts stream connections on ln until the listener
+// closes, serving each on its own goroutine pair (reader + writer).
+// Run it like http.Server.Serve: `go srv.ServeStream(ln)`. It returns
+// nil once Shutdown begins, the accept error otherwise; the listener
+// is owned by the server from this call on and closed at Shutdown.
+func (s *Server) ServeStream(ln net.Listener) error {
+	st := &s.stream
+	st.mu.Lock()
+	if st.draining {
+		st.mu.Unlock()
+		ln.Close()
+		return ErrPoolClosed
+	}
+	if st.listeners == nil {
+		st.listeners = make(map[net.Listener]struct{})
+	}
+	st.listeners[ln] = struct{}{}
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		delete(st.listeners, ln)
+		st.mu.Unlock()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			st.mu.Lock()
+			draining := st.draining
+			st.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		st.wg.Add(1)
+		go s.handleStreamConn(nc)
+	}
+}
+
+// handleStreamConn owns one accepted connection's lifecycle: counter
+// and drain-registry bookkeeping around the protocol itself.
+func (s *Server) handleStreamConn(nc net.Conn) {
+	st := &s.stream
+	defer st.wg.Done()
+	defer nc.Close()
+	s.obs.stream.connsTotal.Add(1)
+	s.obs.stream.connsActive.Add(1)
+	defer s.obs.stream.connsActive.Add(-1)
+
+	sc := &streamConn{fc: stream.NewConn(nc, int(s.cfg.MaxBodyBytes))}
+	st.mu.Lock()
+	if st.conns == nil {
+		st.conns = make(map[*streamConn]struct{})
+	}
+	st.conns[sc] = struct{}{}
+	if st.draining {
+		// Accepted in the closing window: serve it, but under the same
+		// drain deadline every established connection got.
+		sc.draining.Store(true)
+		sc.fc.SetReadDeadline(st.deadline) //nolint:errcheck
+	}
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		delete(st.conns, sc)
+		st.mu.Unlock()
+	}()
+
+	s.serveStreamConn(sc)
+}
+
+// serveStreamConn runs the handshake, then the pipelined data plane.
+func (s *Server) serveStreamConn(sc *streamConn) {
+	fc := sc.fc
+	typ, _, payload, err := fc.ReadFrame()
+	if err != nil {
+		return // nothing promised yet
+	}
+	fail := func(format string, args ...any) {
+		s.obs.stream.errors.Add(1)
+		fc.WriteFrame(stream.FrameError, 0, fmt.Appendf(nil, format, args...)) //nolint:errcheck
+		fc.Flush()                                                             //nolint:errcheck
+	}
+	if typ != stream.FrameHello {
+		fail("stream: expected hello, got frame %c", typ)
+		return
+	}
+	id, err := stream.ParseHello(payload)
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	if s.pool.Closed() {
+		fail("%v", ErrPoolClosed)
+		return
+	}
+	in, ok := s.pool.Get(id)
+	if !ok {
+		fail("unknown instance %q", id)
+		return
+	}
+	window := s.cfg.StreamWindow
+	if err := fc.WriteFrame(stream.FrameAck, 0,
+		stream.AppendAck(make([]byte, 0, 64), uint32(window), in.Policy())); err != nil {
+		return
+	}
+	if err := fc.Flush(); err != nil {
+		return
+	}
+
+	resp := make(chan respFrame, window+1)
+	masksFree := make(chan []byte, window)
+	for i := 0; i < window; i++ {
+		masksFree <- nil
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// A dying writer unblocks a reader parked in ReadFrame; the
+		// reader then sees writerDone and exits instead of terminating.
+		defer fc.SetReadDeadline(time.Unix(1, 0)) //nolint:errcheck
+		s.streamWriteLoop(fc, resp, masksFree, window)
+	}()
+	s.streamReadLoop(sc, in, resp, masksFree, writerDone)
+	<-writerDone
+}
+
+// streamReadLoop reads batch frames, decodes each straight into a
+// borrowed engine batch and submits it with the verdict callback set;
+// the engine shard completes the verdict frame during its decide. The
+// loop ends by handing the writer exactly one terminal frame whose seq
+// equals the number of batches submitted — the writer's signal that
+// every verdict below it must go out first.
+func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFrame, masksFree chan []byte, writerDone chan struct{}) {
+	fc := sc.fc
+	eng := in.eng
+	numSets := in.info.NumSets()
+	next := uint32(0) // seq of the next expected batch = batches submitted
+	terminate := func(typ byte, format string, args ...any) {
+		var msg []byte
+		if typ == stream.FrameError {
+			s.obs.stream.errors.Add(1)
+			msg = fmt.Appendf(nil, format, args...)
+		}
+		select {
+		case resp <- respFrame{typ, next, msg}:
+		case <-writerDone:
+		}
+	}
+	// The one verdict callback for the connection, invoked by engine
+	// shards after each batch's decide. Never blocks: resp has room for
+	// every window slot plus the reader's terminal.
+	done := func(seq uint32, masks []byte) {
+		resp <- respFrame{stream.FrameVerdicts, seq, masks}
+	}
+	for {
+		typ, seq, payload, err := fc.ReadFrame()
+		if err != nil {
+			if sc.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded) {
+				terminate(stream.FrameError, "stream: server shutting down (%d batches answered)", next)
+			} else {
+				terminate(0, "") // peer gone or writer died: flush and close
+			}
+			return
+		}
+		switch typ {
+		case stream.FrameBatch:
+			if seq != next {
+				terminate(stream.FrameError, "stream: batch seq %d, want %d", seq, next)
+				return
+			}
+			// Enforce the batch cap from the frame header BEFORE decoding,
+			// for the same reason the HTTP arm does: the decode fills
+			// engine free-list buffers that live as long as the instance.
+			if c, ok := wire.PeekBatchCount(payload); ok && c > s.cfg.MaxBatch {
+				terminate(stream.FrameError, "ingest: batch of %d exceeds limit %d", c, s.cfg.MaxBatch)
+				return
+			}
+			decodeStart := time.Now()
+			// Acquiring the mask buffer acquires the window slot; blocking
+			// here (peer overran the window) is backpressure via TCP.
+			var masks []byte
+			select {
+			case masks = <-masksFree:
+			case <-writerDone:
+				return
+			}
+			b := eng.BorrowBatch()
+			b.Members, b.Offs, b.Caps, err = wire.DecodeBatch(payload, b.Members[:0], b.Offs[:0], b.Caps[:0])
+			if err != nil {
+				eng.ReturnBatch(b)
+				terminate(stream.FrameError, "ingest: %v", err)
+				return
+			}
+			// Atomicity, as both HTTP arms: the whole batch is validated
+			// against the instance's universe before any element is
+			// submitted.
+			if err := b.Validate(numSets); err != nil {
+				eng.ReturnBatch(b)
+				terminate(stream.FrameError, "ingest: %v", err)
+				return
+			}
+			s.obs.streamDecode.Observe(time.Since(decodeStart))
+			b.Seq = seq
+			b.Masks = wire.AppendVerdictsHeader(masks[:0], b.Len())
+			b.Done = done
+			if err := in.IngestBatch(b); err != nil {
+				// The engine recycled the batch (Reset detached the
+				// callback), so no verdict for this seq is coming: next
+				// still counts only submitted batches.
+				if errors.Is(err, engine.ErrDrained) {
+					terminate(stream.FrameError, "ingest: instance %s is already drained", in.ID())
+				} else {
+					terminate(stream.FrameError, "ingest: %v", err)
+				}
+				return
+			}
+			next++
+			s.obs.stream.batches.Add(1)
+		case stream.FrameFin:
+			if seq != next {
+				terminate(stream.FrameError, "stream: fin declares %d batches, %d submitted", seq, next)
+				return
+			}
+			terminate(stream.FrameFin, "")
+			return
+		case stream.FrameError:
+			s.obs.stream.errors.Add(1)
+			terminate(0, "") // client aborted: flush what it is owed, close
+			return
+		default:
+			terminate(stream.FrameError, "stream: unexpected frame %c", typ)
+			return
+		}
+	}
+}
+
+// streamWriteLoop is the connection's single writer: it restores batch
+// order over shard-completion order with a ring of pending verdict
+// frames, returns each mask buffer (= window slot) to masksFree once
+// its frame is on the wire, flushes whenever the completion channel
+// goes momentarily quiet, and exits after the terminal frame.
+func (s *Server) streamWriteLoop(fc *stream.Conn, resp chan respFrame, masksFree chan []byte, window int) {
+	ring := make([]respFrame, window+1)
+	present := make([]bool, window+1)
+	next := uint32(0) // seq of the next verdict frame to write
+	var terminal *respFrame
+	flushed := true
+	for {
+		if terminal != nil && next == terminal.seq {
+			if terminal.typ != 0 {
+				if err := fc.WriteFrame(terminal.typ, terminal.seq, terminal.payload); err != nil {
+					return
+				}
+			}
+			fc.Flush() //nolint:errcheck // the stream is over either way
+			return
+		}
+		var f respFrame
+		select {
+		case f = <-resp:
+		default:
+			if !flushed {
+				if err := fc.Flush(); err != nil {
+					return
+				}
+				flushed = true
+			}
+			f = <-resp
+		}
+		if f.typ != stream.FrameVerdicts {
+			t := f
+			terminal = &t
+			continue
+		}
+		slot := int(f.seq) % len(ring)
+		ring[slot], present[slot] = f, true
+		for {
+			slot := int(next) % len(ring)
+			if !present[slot] {
+				break
+			}
+			g := ring[slot]
+			present[slot] = false
+			if err := fc.WriteFrame(g.typ, g.seq, g.payload); err != nil {
+				return
+			}
+			flushed = false
+			masksFree <- g.payload // never blocks: at most window buffers exist
+			next++
+		}
+	}
+}
+
+// drainStreams begins the stream side of graceful shutdown: close the
+// listeners, put every live connection on the drain deadline, and wait
+// for them to finish — forcing the sockets closed if ctx expires
+// first. It must complete BEFORE the engine pool drains so that frames
+// read during the grace window still get real verdicts.
+func (s *Server) drainStreams(ctx context.Context) {
+	st := &s.stream
+	st.mu.Lock()
+	st.draining = true
+	st.deadline = time.Now().Add(s.cfg.StreamDrainGrace)
+	for ln := range st.listeners {
+		ln.Close()
+	}
+	for sc := range st.conns {
+		sc.draining.Store(true)
+		sc.fc.SetReadDeadline(st.deadline) //nolint:errcheck
+	}
+	st.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { st.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		st.mu.Lock()
+		for sc := range st.conns {
+			sc.fc.Close()
+		}
+		st.mu.Unlock()
+		<-done // handlers exit promptly once their sockets are closed
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/setsystem"
 )
@@ -295,3 +296,24 @@ func MaskAt(payload []byte, load int) (mask, rest []byte, err error) {
 // MaskBit reports whether membership j was admitted in a mask carved by
 // MaskAt.
 func MaskBit(mask []byte, j int) bool { return mask[j/8]&(1<<(j%8)) != 0 }
+
+// AppendAdmitted appends the members whose mask bit is set onto dst —
+// the inverse of AppendVerdictMask. It walks set bits only, so the cost
+// scales with admissions (bounded by the element's capacity b(u))
+// rather than its load σ(u); callers that also need the dropped
+// complement should iterate MaskBit instead. A set bit past the member
+// count means the mask's padding was corrupted and is a frame error.
+func AppendAdmitted(dst []setsystem.SetID, mask []byte, members []setsystem.SetID) ([]setsystem.SetID, error) {
+	for base := 0; base < len(members); base += 8 {
+		b := mask[base>>3]
+		for b != 0 {
+			k := base + bits.TrailingZeros8(b)
+			b &= b - 1
+			if k >= len(members) {
+				return dst, fmt.Errorf("%w: verdict mask admits member %d of an element with %d", ErrFrame, k, len(members))
+			}
+			dst = append(dst, members[k])
+		}
+	}
+	return dst, nil
+}

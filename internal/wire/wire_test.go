@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -157,7 +158,27 @@ func TestVerdictMaskRoundTrip(t *testing.T) {
 					t.Fatalf("load %d trial %d: bit %d = %v, want %v", load, trial, j, MaskBit(mask, j), want[s])
 				}
 			}
+			// The sparse walk must recover exactly the admitted list.
+			back, err := AppendAdmitted(nil, mask, members)
+			if err != nil {
+				t.Fatalf("load %d trial %d: AppendAdmitted: %v", load, trial, err)
+			}
+			if fmt.Sprint(back) != fmt.Sprint(admitted) {
+				t.Fatalf("load %d trial %d: AppendAdmitted = %v, want %v", load, trial, back, admitted)
+			}
 		}
+	}
+}
+
+// TestAppendAdmittedPaddingBit pins the corruption check: a set bit in
+// the mask's padding region (past the member count) is a frame error,
+// not a silent skip or a panic.
+func TestAppendAdmittedPaddingBit(t *testing.T) {
+	members := []setsystem.SetID{2, 4, 6} // 3 members, 5 padding bits
+	mask := AppendVerdictMask(nil, members, members[1:2])
+	mask[0] |= 1 << 6 // corrupt a padding bit
+	if _, err := AppendAdmitted(nil, mask, members); !errors.Is(err, ErrFrame) {
+		t.Fatalf("padding bit set: err = %v, want ErrFrame", err)
 	}
 }
 

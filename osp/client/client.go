@@ -68,9 +68,10 @@ func (c Codec) String() string {
 // Client talks to one admission server. Safe for concurrent use (the
 // underlying http.Client is).
 type Client struct {
-	base  string
-	hc    *http.Client
-	codec Codec
+	base       string
+	hc         *http.Client
+	codec      Codec
+	streamAddr string // host:port of the raw-TCP stream listener, "" = none
 }
 
 // Option customizes a Client.
@@ -209,6 +210,9 @@ type Instance struct {
 	// negotiated is the per-instance CodecAuto outcome: 0 until the
 	// first ingest settles it, then codecBinary or codecJSON.
 	negotiated atomic.Int32
+	// streams counts this instance's open verdict streams (OpenStream);
+	// while positive, Codec reports "stream".
+	streams atomic.Int32
 }
 
 // Codec negotiation outcomes.
@@ -467,11 +471,15 @@ func isCodecRejection(err error) bool {
 		(apiErr.StatusCode == http.StatusBadRequest || apiErr.StatusCode == http.StatusUnsupportedMediaType)
 }
 
-// Codec reports the wire codec this instance's Ingest currently uses:
+// Codec reports the wire transport this instance currently ingests
+// over: "stream" while a verdict stream is open (OpenStream), else
 // "json" or "binary" once pinned (by WithCodec or by CodecAuto's first
-// ingest), "auto" before the first ingest settles it.
+// ingest), "auto" before the first ingest settles it — so a benchmark
+// or loadgen report can prove which arm it actually exercised.
 func (in *Instance) Codec() string {
 	switch {
+	case in.streams.Load() > 0:
+		return "stream"
 	case in.c.codec != CodecAuto:
 		return in.c.codec.String()
 	case in.negotiated.Load() == codecBinary:
