@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunEmbeddedVerify is the happy path: an embedded 2-node fleet,
+// fan-out ingest, merged drain verified against the serial oracle.
+func TestRunEmbeddedVerify(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-spawn", "2", "-m", "30", "-n", "3000", "-load", "3", "-batch", "250"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fleet:    2 nodes (embedded), journal on",
+		"on slots [0 1]",
+		"verify:   merged drain bit-for-bit identical to serial randpr oracle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPinned covers the ring arm: a non-fan-out instance lands on
+// exactly one slot and still verifies.
+func TestRunPinned(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-spawn", "2", "-fanout=false", "-m", "20", "-n", "2000", "-load", "3", "-batch", "200"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "verify:") {
+		t.Errorf("output missing verify line:\n%s", b.String())
+	}
+}
+
+// TestRunFailoverJournal is the CLI failover demo: kill a node halfway,
+// replace it, and the journaled replay keeps the drain exact.
+func TestRunFailoverJournal(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-spawn", "3", "-kill", "1", "-kill-at", "0.4",
+		"-m", "30", "-n", "3000", "-load", "3", "-batch", "200", "-print-metrics"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"kill:     slot 1 down",
+		"failover: slot 1 replaced by",
+		"verify:   merged drain bit-for-bit identical to serial randpr oracle",
+		"osp_cluster_failovers_total 1",
+		"osp_cluster_lost_elements_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFailoverNoJournal pins the lossy arm: journal off, the dead
+// node's acked share is reported as lost and the drain verifies against
+// the surviving-subsequence oracle.
+func TestRunFailoverNoJournal(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-spawn", "3", "-kill", "0", "-kill-at", "0.5", "-journal=false",
+		"-m", "30", "-n", "3000", "-load", "3", "-batch", "200"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"lost:     ",
+		"surviving-subsequence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFileLog: the registration log lands on disk and survives the
+// run — one JSONL entry for the one registration.
+func TestRunFileLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.jsonl")
+	var b strings.Builder
+	err := run([]string{"-spawn", "2", "-log", path,
+		"-m", "20", "-n", "1000", "-load", "3", "-batch", "200"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, b.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; n != 1 {
+		t.Fatalf("registration log has %d lines, want 1:\n%s", n, data)
+	}
+	if !strings.Contains(string(data), `"id":"c-0"`) {
+		t.Errorf("log entry missing instance id:\n%s", data)
+	}
+}
+
+// TestRunFlagValidation: the error arms that must not silently
+// misbehave.
+func TestRunFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"kill-external":  {"-nodes", "http://localhost:1", "-kill", "0"},
+		"kill-range":     {"-spawn", "2", "-kill", "5"},
+		"kill-at-range":  {"-spawn", "2", "-kill", "0", "-kill-at", "1.5"},
+		"batch-zero":     {"-batch", "0"},
+		"spawn-zero":     {"-spawn", "0"},
+		"zipf-negative":  {"-zipf", "-1"},
+		"unknown-policy": {"-spawn", "1", "-policy", "nope", "-n", "100"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(args, &b); err == nil {
+				t.Errorf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}

@@ -17,6 +17,8 @@
 //	osploadgen -addr http://host:8080 -stream-addr host:8081 -transport stream
 //	osploadgen -policy randpr-weighted -zipf 1.2  # skewed Zipf(1.2) set weights,
 //	                                    # where the weighted variant actually diverges
+//	osploadgen -nodes http://a:8080,http://b:8080 -stream-nodes a:8081,b:8081
+//	                                    # cluster mode: fan the stream across a fleet
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/osp"
 	"repro/osp/client"
 )
@@ -62,6 +65,8 @@ func run(args []string, w io.Writer) error {
 		trans    = fs.String("transport", "http", "ingest transport: http (one request per batch) or stream (pipelined frames over one TCP connection)")
 		pipeline = fs.Int("pipeline", 8, "stream transport: batches kept in flight (capped by the server's window)")
 		strmAddr = fs.String("stream-addr", "", "host:port of the server's stream listener (ospserve -stream-listen); defaults to the embedded server's")
+		nodesCSV = fs.String("nodes", "", "cluster mode: comma-separated node base URLs, in slot order; ingest routes through a cluster coordinator instead of one server")
+		strmCSV  = fs.String("stream-nodes", "", "cluster mode: comma-separated stream listener host:ports, parallel to -nodes (\"\" entries = HTTP-only node)")
 		zipf     = fs.Float64("zipf", 0, "Zipf exponent s for skewed set weights w(S_i) ∝ 1/(i+1)^s (0 = unit weights)")
 		label    = fs.String("label", "loadgen", "metrics label for the registered instance")
 		verify   = fs.Bool("verify", true, "cross-check the drained result against the policy's serial oracle")
@@ -109,6 +114,17 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "workload: %v\n", inst)
+
+	if *nodesCSV != "" {
+		if *addr != "" {
+			return errors.New("-nodes (cluster mode) and -addr (single server) are mutually exclusive")
+		}
+		return runCluster(w, inst, clusterRun{
+			nodes: *nodesCSV, streamNodes: *strmCSV,
+			seed: *seed, rate: *rate, batch: *batch, shards: *shards,
+			policy: *policy, label: *label, verify: *verify,
+		})
+	}
 
 	base := *addr
 	streamAddr := *strmAddr
@@ -298,6 +314,121 @@ func run(args []string, w io.Writer) error {
 				h.Policy(), res.Benefit, serial.Benefit, *seed)
 		}
 		fmt.Fprintf(w, "verify:   drained result bit-for-bit identical to serial %s oracle (seed %d)\n", h.Policy(), *seed)
+	}
+	return nil
+}
+
+// clusterRun carries the -nodes arm's parameters.
+type clusterRun struct {
+	nodes, streamNodes string
+	seed               int64
+	rate               float64
+	batch, shards      int
+	policy, label      string
+	verify             bool
+}
+
+// runCluster is the -nodes arm: the same load-and-verify loop, routed
+// through a cluster coordinator that fans the element stream across the
+// fleet by element hash, forwards each share over the best transport
+// the node speaks, and merges the per-node drains. The merged result is
+// still checked bit-for-bit against the serial oracle — placement
+// cannot change a verdict.
+func runCluster(w io.Writer, inst *osp.Instance, p clusterRun) error {
+	bases := strings.Split(p.nodes, ",")
+	streams := make([]string, len(bases))
+	if p.streamNodes != "" {
+		got := strings.Split(p.streamNodes, ",")
+		if len(got) != len(bases) {
+			return fmt.Errorf("-stream-nodes lists %d addrs for %d nodes", len(got), len(bases))
+		}
+		streams = got
+	}
+	fleet := make([]cluster.Node, len(bases))
+	for i, b := range bases {
+		fleet[i] = cluster.Node{BaseURL: strings.TrimSpace(b), StreamAddr: strings.TrimSpace(streams[i])}
+	}
+	co, err := cluster.New(cluster.Config{Nodes: fleet})
+	if err != nil {
+		return err
+	}
+	defer co.Close() //nolint:errcheck
+	ctx := context.Background()
+	in, err := co.Register(ctx, cluster.Spec{
+		Info: osp.InfoOf(inst), Seed: uint64(p.seed), FanOut: true,
+		Engine: osp.EngineConfig{Shards: p.shards, Policy: p.policy},
+		Label:  p.label,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "target:   cluster of %d nodes, instance %s on slots %v, rate target %s\n",
+		len(fleet), in.ID(), in.Slots(), rateString(p.rate))
+
+	var admitted, dropped uint64
+	start := time.Now()
+	batches := 0
+	lat := make([]time.Duration, 0, (len(inst.Elements)+p.batch-1)/p.batch)
+	for off := 0; off < len(inst.Elements); off += p.batch {
+		if p.rate > 0 {
+			target := start.Add(time.Duration(float64(off) / p.rate * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		els := inst.Elements[off:min(off+p.batch, len(inst.Elements))]
+		sent := time.Now()
+		err := in.Ingest(ctx, els, func(i int, adm []osp.SetID) {
+			admitted += uint64(len(adm))
+			dropped += uint64(len(els[i].Members) - len(adm))
+		})
+		lat = append(lat, time.Since(sent))
+		if err != nil {
+			return fmt.Errorf("cluster ingest batch at %d: %w", off, err)
+		}
+		batches++
+	}
+	elapsed := time.Since(start)
+
+	res, err := in.Drain(ctx)
+	if err != nil {
+		return err
+	}
+	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
+	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d batches, cluster fan-out)\n",
+		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches)
+	p50, p95, p99 := latencyPercentiles(lat)
+	fmt.Fprintf(w, "latency:  per-batch client-observed p50 %v, p95 %v, p99 %v\n",
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+	fmt.Fprintf(w, "verdicts: %d admitted, %d dropped memberships\n", admitted, dropped)
+	fmt.Fprintf(w, "goodput:  %d sets completed, weight %.1f of %.1f offered\n",
+		len(res.Completed), res.Benefit, inst.TotalWeight())
+
+	var assigned uint64
+	for _, cnt := range res.Assigned {
+		assigned += uint64(cnt)
+	}
+	if assigned != admitted {
+		return fmt.Errorf("verdicts admitted %d memberships but drained result assigns %d", admitted, assigned)
+	}
+	if p.verify {
+		alg, err := osp.NewPolicyAlgorithm(p.policy, uint64(p.seed))
+		if err != nil {
+			return err
+		}
+		serial, err := osp.Run(inst, alg, nil)
+		if err != nil {
+			return err
+		}
+		if !res.Equal(serial) {
+			return fmt.Errorf("cluster drain differs from its serial oracle (cluster %.3f, serial %.3f, seed %d)",
+				res.Benefit, serial.Benefit, p.seed)
+		}
+		pol := p.policy
+		if pol == "" {
+			pol = osp.DefaultPolicy
+		}
+		fmt.Fprintf(w, "verify:   merged cluster drain bit-for-bit identical to serial %s oracle (seed %d)\n", pol, p.seed)
 	}
 	return nil
 }

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/osp"
 )
 
@@ -165,6 +167,48 @@ func TestLoadgenCodecs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-codec", "bogus", "-n", "10"}, &buf); err == nil {
 		t.Error("bogus codec accepted")
+	}
+}
+
+// TestLoadgenClusterMode routes the generator through a 2-node cluster
+// coordinator (-nodes): the element stream fans across both nodes by
+// element hash, forwards over each node's stream listener, and the
+// merged drain still verifies bit-for-bit against the serial oracle.
+func TestLoadgenClusterMode(t *testing.T) {
+	var nodes, streams []string
+	for i := 0; i < 2; i++ {
+		ln, err := cluster.StartLocalNode(osp.ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Shutdown(context.Background()) }) //nolint:errcheck
+		nodes = append(nodes, ln.Config().BaseURL)
+		streams = append(streams, ln.Config().StreamAddr)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-m", "30", "-n", "3000", "-load", "3", "-batch", "250", "-seed", "21",
+		"-nodes", strings.Join(nodes, ","), "-stream-nodes", strings.Join(streams, ",")}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"target:   cluster of 2 nodes, instance c-0 on slots [0 1]",
+		"loadgen:  3000 elements",
+		"verify:   merged cluster drain bit-for-bit identical to serial randpr oracle",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// Cluster mode and a single -addr target are mutually exclusive.
+	if err := run([]string{"-nodes", nodes[0], "-addr", nodes[0], "-n", "10"}, &buf); err == nil {
+		t.Error("-nodes with -addr accepted")
+	}
+	// Mismatched stream list lengths are a config error.
+	if err := run([]string{"-nodes", strings.Join(nodes, ","), "-stream-nodes", streams[0], "-n", "10"}, &buf); err == nil {
+		t.Error("mismatched -stream-nodes length accepted")
 	}
 }
 

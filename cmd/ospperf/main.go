@@ -1,24 +1,28 @@
 // Command ospperf measures the admission hot path and emits the tracked
-// benchmark baseline (BENCH_4.json): ns/element and allocs/element for the
+// benchmark baseline (BENCH_5.json): ns/element and allocs/element for the
 // top-k decide kernel (against the sort-based path it replaced), the
 // serial runner, the streaming engine across a shard-count matrix (plus
 // an interface-dispatch row proving the VectorState fast path is ≥
 // neutral), every registered admission policy on both the uniform and
-// the skewed Zipf-weight workload, and — the service-level mode — the
-// full networked ingest path over an embedded server: JSON over HTTP,
-// the zero-allocation binary codec over HTTP, and the same binary
-// frames pipelined over the raw-TCP stream transport.
+// the skewed Zipf-weight workload, the service-level mode — the full
+// networked ingest path over an embedded server: JSON over HTTP, the
+// zero-allocation binary codec over HTTP, and the same binary frames
+// pipelined over the raw-TCP stream transport — and the cluster scaling
+// rows: the same workload fanned across N coordinator-fronted nodes by
+// element hash and merged on drain.
 //
 // Usage:
 //
-//	ospperf                       # full matrix, writes BENCH_4.json
+//	ospperf                       # full matrix, writes BENCH_5.json
 //	ospperf -quick -out /dev/null # CI smoke sizes
 //	ospperf -failonalloc          # exit 1 on any allocs/element > 0
 //
 // The JSON is the regression contract: future PRs rerun ospperf and
-// compare (engine rows must stay within noise of BENCH_3.json; the
-// binary and stream service rows anchor the wire-path win). CI runs the
-// -quick -failonalloc mode on every push and uploads the artifact.
+// compare (engine rows must stay within noise of BENCH_4.json; the
+// binary and stream service rows anchor the wire-path win; the cluster
+// rows anchor horizontal scaling, meaningful only on multi-core
+// runners). CI runs the -quick -failonalloc mode on every push and
+// uploads the artifact.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hashpr"
@@ -47,9 +52,8 @@ import (
 	"repro/osp/client"
 )
 
-// Report is the schema of BENCH_4.json (a superset of BENCH_3.json's:
-// service rows gain a transport column, a speedup-vs-binary column, and
-// the pipelined stream-transport row).
+// Report is the schema of BENCH_5.json (a superset of BENCH_4.json's:
+// cluster scaling rows join the matrix).
 type Report struct {
 	Bench         string       `json:"bench"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -73,6 +77,11 @@ type Report struct {
 	// Service is the end-to-end networked ingest path (embedded HTTP
 	// server, real client, loopback TCP), one row per wire codec.
 	Service []ServiceBench `json:"service"`
+	// Cluster is the horizontal-scaling matrix: the same workload fanned
+	// across N coordinator-fronted nodes by element hash, one row per
+	// fleet size. Nodes=1 is the cluster-overhead baseline the speedup
+	// column is relative to.
+	Cluster []ClusterBench `json:"cluster"`
 }
 
 // DecideBench is the capacity<=8 selection microbenchmark: the new
@@ -145,6 +154,23 @@ type ServiceBench struct {
 	SpeedupVsBinary  float64 `json:"speedup_vs_binary,omitempty"`
 }
 
+// ClusterBench is one fleet size of the cluster scaling matrix: the
+// matrix workload streamed through a coordinator that scatters each
+// batch across N embedded nodes by element hash (stream transport per
+// node) and merges the per-node drains. SpeedupVsSingle compares
+// against the nodes=1 row — the coordinator overhead included on both
+// sides, so it isolates the horizontal win. On a single-core runner the
+// fan-out cannot beat one node; CI gates the 2-node floor only on
+// multi-core runners.
+type ClusterBench struct {
+	Nodes           int     `json:"nodes"`
+	Elements        int     `json:"elements"`
+	Batch           int     `json:"batch"`
+	NsPerElement    float64 `json:"ns_per_element"`
+	ElementsPerSec  float64 `json:"elements_per_sec"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ospperf:", err)
@@ -155,7 +181,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospperf", flag.ContinueOnError)
 	var (
-		out         = fs.String("out", "BENCH_4.json", "output JSON path (- prints the JSON to stdout)")
+		out         = fs.String("out", "BENCH_5.json", "output JSON path (- prints the JSON to stdout)")
 		shardsFlag  = fs.String("shards", "1,2,4,8", "comma-separated shard counts for the engine matrix")
 		quick       = fs.Bool("quick", false, "small sizes for a CI smoke pass")
 		reps        = fs.Int("reps", 3, "timed repetitions per cell (best-of)")
@@ -300,6 +326,29 @@ func run(args []string, w io.Writer) error {
 	}
 	rep.Service = append(rep.Service, sb)
 	printService(w, sb)
+
+	clusterSizes := []int{1, 2}
+	if !*quick {
+		clusterSizes = append(clusterSizes, 4)
+	}
+	var singleRate float64
+	for _, nodes := range clusterSizes {
+		cb, err := benchCluster(inst, nodes, svcBatch, *reps, *seed)
+		if err != nil {
+			return err
+		}
+		if nodes == 1 {
+			singleRate = cb.ElementsPerSec
+		} else if singleRate > 0 {
+			cb.SpeedupVsSingle = cb.ElementsPerSec / singleRate
+		}
+		rep.Cluster = append(rep.Cluster, cb)
+		fmt.Fprintf(w, "cluster nodes=%d: %.1f ns/element, %.0f elements/s", cb.Nodes, cb.NsPerElement, cb.ElementsPerSec)
+		if cb.SpeedupVsSingle > 0 {
+			fmt.Fprintf(w, ", %.2fx single-node", cb.SpeedupVsSingle)
+		}
+		fmt.Fprintln(w)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -846,6 +895,88 @@ func benchServiceStream(inst *setsystem.Instance, batch, reps int, seed int64) (
 		NsPerElement:     float64(ns) / float64(n),
 		ElementsPerSec:   float64(n) / (float64(ns) * 1e-9),
 		AllocsPerElement: float64(allocs) / float64(n),
+	}, nil
+}
+
+// benchCluster measures one cluster scaling row: N embedded nodes, a
+// coordinator fanning the matrix workload across them by element hash
+// (stream transport per node), merged on drain. Each pass builds a
+// fresh coordinator over the same fleet and registers a fresh fan-out
+// instance; the first pass's merged drain is verified bit-for-bit
+// against the serial oracle before any timing — scale must not change
+// a verdict.
+func benchCluster(inst *setsystem.Instance, nodes, batch, reps int, seed int64) (ClusterBench, error) {
+	fleet := make([]cluster.Node, nodes)
+	locals := make([]*cluster.LocalNode, nodes)
+	for i := range fleet {
+		ln, err := cluster.StartLocalNode(osp.ServerConfig{})
+		if err != nil {
+			return ClusterBench{}, err
+		}
+		locals[i] = ln
+		fleet[i] = ln.Config()
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, ln := range locals {
+			ln.Shutdown(ctx) //nolint:errcheck
+		}
+	}()
+
+	ctx := context.Background()
+	pass := func() (*core.Result, error) {
+		co, err := cluster.New(cluster.Config{Nodes: fleet})
+		if err != nil {
+			return nil, err
+		}
+		defer co.Close() //nolint:errcheck
+		in, err := co.Register(ctx, cluster.Spec{
+			Info: osp.InfoOf(inst), Seed: uint64(seed), FanOut: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(inst.Elements); off += batch {
+			end := min(off+batch, len(inst.Elements))
+			if err := in.Ingest(ctx, inst.Elements[off:end], nil); err != nil {
+				return nil, err
+			}
+		}
+		return in.Drain(ctx)
+	}
+
+	// Correctness first: one verified pass before any timing.
+	res, err := pass()
+	if err != nil {
+		return ClusterBench{}, err
+	}
+	serial, err := core.Run(inst, &core.HashRandPr{Hasher: hashpr.Mixer{Seed: uint64(seed)}}, nil)
+	if err != nil {
+		return ClusterBench{}, err
+	}
+	if !res.Equal(serial) {
+		return ClusterBench{}, fmt.Errorf("cluster nodes=%d: merged drain differs from the serial oracle", nodes)
+	}
+
+	var passErr error
+	ns := timeBest(reps, func() {
+		if passErr != nil {
+			return
+		}
+		_, passErr = pass()
+	})
+	if passErr != nil {
+		return ClusterBench{}, passErr
+	}
+
+	n := inst.NumElements()
+	return ClusterBench{
+		Nodes:          nodes,
+		Elements:       n,
+		Batch:          batch,
+		NsPerElement:   float64(ns) / float64(n),
+		ElementsPerSec: float64(n) / (float64(ns) * 1e-9),
 	}, nil
 }
 

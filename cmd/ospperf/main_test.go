@@ -111,6 +111,23 @@ func TestQuickMatrix(t *testing.T) {
 	if a := rep.Service[2].AllocsPerElement; a > 0.1 {
 		t.Errorf("stream service path allocates %.3f/element process-wide, want <= 0.1", a)
 	}
+
+	// Cluster scaling rows: the quick matrix runs fleets of 1 and 2, the
+	// multi-node row carrying its speedup against the single-node
+	// baseline. The speedup itself is informational here — a 1-vCPU
+	// runner cannot make fan-out pay — but every row must be populated
+	// and oracle-verified (benchCluster fails otherwise).
+	if len(rep.Cluster) != 2 || rep.Cluster[0].Nodes != 1 || rep.Cluster[1].Nodes != 2 {
+		t.Fatalf("cluster rows = %+v, want fleets of 1 and 2", rep.Cluster)
+	}
+	for _, cb := range rep.Cluster {
+		if cb.ElementsPerSec <= 0 || cb.NsPerElement <= 0 {
+			t.Errorf("cluster nodes=%d: timings not populated: %+v", cb.Nodes, cb)
+		}
+	}
+	if rep.Cluster[1].SpeedupVsSingle <= 0 {
+		t.Errorf("2-node cluster row missing its speedup-vs-single column: %+v", rep.Cluster[1])
+	}
 }
 
 func TestParseShards(t *testing.T) {

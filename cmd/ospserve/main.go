@@ -64,6 +64,7 @@ func run(args []string, w io.Writer) error {
 		listen  = fs.String("listen", "", "service mode: serve the HTTP admission API on this address (e.g. :8080)")
 		strmLn  = fs.String("stream-listen", "", "service mode: also serve the raw-TCP stream transport on this address (e.g. :8081)")
 		strmWin = fs.Int("stream-window", 0, "stream transport: pipelined batches allowed in flight per connection (0 = default 32)")
+		nodeLbl = fs.String("node", "", "service mode: node name exported as the osp_node_info metric (cluster deployments)")
 		maxInst = fs.Int("max-instances", 0, "service mode: engine pool limit (0 = default 1024)")
 		maxBat  = fs.Int("max-batch", 0, "service mode: per-request ingest batch cap (0 = default 65536)")
 		maxBody = fs.Int64("max-body", 0, "service mode: request body byte cap (0 = default 256 MiB)")
@@ -108,6 +109,7 @@ func run(args []string, w io.Writer) error {
 		return runService(*listen, *strmLn, osp.ServerConfig{
 			MaxInstances: *maxInst, MaxBatch: *maxBat, MaxBodyBytes: *maxBody,
 			StreamWindow: *strmWin, Decisions: dlog, EnablePprof: *pprofOn,
+			NodeLabel: *nodeLbl,
 		}, w, stop, nil)
 	}
 

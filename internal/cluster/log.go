@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The registration log is the failover substrate: an append-only record
+// of every instance registration, in order. Because policy state is
+// pure in (Info, seed), replaying the log's entries for one slot onto a
+// fresh node reconstructs — bit-for-bit — the policy state the dead
+// node held, with no snapshot, no state transfer, and no quiescing of
+// the other nodes. The coordinator always keeps the log in memory;
+// opening it on a file additionally makes it durable, so a restarted
+// coordinator process can re-adopt a running fleet.
+
+// LogEntry is one registration, with everything a replacement node
+// needs to reach the identical policy state: the up-front Info, the
+// shared seed, and the per-node engine sizing.
+type LogEntry struct {
+	// ID is the coordinator-level instance identifier.
+	ID string `json:"id"`
+	// Weights and Sizes are the instance's up-front information.
+	Weights []float64 `json:"weights"`
+	Sizes   []int     `json:"sizes"`
+	// Seed is the shared policy seed — the whole "state transfer".
+	Seed uint64 `json:"seed"`
+	// Shards, BatchSize, QueueDepth size each node's engine; Policy
+	// names the admission policy ("" = server default).
+	Shards     int    `json:"shards,omitempty"`
+	BatchSize  int    `json:"batch_size,omitempty"`
+	QueueDepth int    `json:"queue_depth,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	// FanOut records whether the instance is split across all nodes by
+	// element hash (true) or pinned to one slot by the ring (false).
+	FanOut bool `json:"fan_out,omitempty"`
+	// Label tags the instance's metrics series.
+	Label string `json:"label,omitempty"`
+}
+
+// Log is the append-only registration log: always in memory, optionally
+// mirrored to a JSONL file. Safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	entries []LogEntry
+	w       *bufio.Writer // nil when memory-only
+	f       *os.File
+}
+
+// NewLog returns a memory-only registration log.
+func NewLog() *Log { return &Log{} }
+
+// OpenLog opens (creating or appending) a file-backed registration log
+// and loads any entries already in it, so a restarted coordinator
+// resumes with the registrations of its predecessor.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open registration log: %w", err)
+	}
+	entries, err := readEntries(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: seek registration log: %w", err)
+	}
+	return &Log{entries: entries, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// readEntries parses a JSONL registration log.
+func readEntries(r io.Reader) ([]LogEntry, error) {
+	var entries []LogEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e LogEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("cluster: registration log line %d: %w", line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: read registration log: %w", err)
+	}
+	return entries, nil
+}
+
+// Append records one registration, flushing through to the file when
+// the log is file-backed (a registration is rare and must survive a
+// coordinator crash, so durability beats batching here).
+func (l *Log) Append(e LogEntry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if l.w == nil {
+		return nil
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cluster: encode registration log entry: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := l.w.Write(raw); err != nil {
+		return fmt.Errorf("cluster: append registration log: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flush registration log: %w", err)
+	}
+	return nil
+}
+
+// Entries returns a copy of the log in append order.
+func (l *Log) Entries() []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the number of registrations logged.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close flushes and closes the backing file, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	if err != nil && !errors.Is(err, os.ErrClosed) {
+		return fmt.Errorf("cluster: close registration log: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Cluster-level Prometheus exposition, same hand-rolled text format as
+// internal/serve's: the coordinator's counters are already the
+// collected state, so rendering is a pure read. Per-node series are
+// labeled {slot,node} — slot is the stable identity, node is the
+// current occupant's address, so a failover shows up as the slot's
+// series restarting under a new node label instead of a silent counter
+// reset on an unchanged series.
+
+// WriteMetrics renders the coordinator's Prometheus text exposition.
+func (co *Coordinator) WriteMetrics(w io.Writer) {
+	co.mu.Lock()
+	members := append([]*member(nil), co.nodes...)
+	instances := len(co.insts)
+	co.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP osp_cluster_nodes Nodes in the fleet (slots).\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_nodes gauge\n")
+	fmt.Fprintf(w, "osp_cluster_nodes %d\n", len(members))
+	fmt.Fprintf(w, "# HELP osp_cluster_instances Cluster-level instances registered.\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_instances gauge\n")
+	fmt.Fprintf(w, "osp_cluster_instances %d\n", instances)
+	fmt.Fprintf(w, "# HELP osp_cluster_registrations_total Registration log entries appended.\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_registrations_total counter\n")
+	fmt.Fprintf(w, "osp_cluster_registrations_total %d\n", co.log.Len())
+
+	fmt.Fprintf(w, "# HELP osp_cluster_node_info Current occupant of each slot (value is always 1; the labels carry the information).\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_node_info gauge\n")
+	for _, m := range members {
+		fmt.Fprintf(w, "osp_cluster_node_info{slot=\"%d\",node=%q,stream=%q} 1\n",
+			m.slot, escapeLabel(m.cfg.BaseURL), escapeLabel(m.cfg.StreamAddr))
+	}
+	fmt.Fprintf(w, "# HELP osp_cluster_node_batches_total Element shares forwarded to each node.\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_node_batches_total counter\n")
+	for _, m := range members {
+		fmt.Fprintf(w, "osp_cluster_node_batches_total{%s} %d\n", nodeLabels(m), m.batches.Load())
+	}
+	fmt.Fprintf(w, "# HELP osp_cluster_node_elements_total Elements forwarded to each node.\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_node_elements_total counter\n")
+	for _, m := range members {
+		fmt.Fprintf(w, "osp_cluster_node_elements_total{%s} %d\n", nodeLabels(m), m.elements.Load())
+	}
+	fmt.Fprintf(w, "# HELP osp_cluster_node_errors_total Failed forwards per node (each leaves a retained share for failover).\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_node_errors_total counter\n")
+	for _, m := range members {
+		fmt.Fprintf(w, "osp_cluster_node_errors_total{%s} %d\n", nodeLabels(m), m.errs.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP osp_cluster_failovers_total Node replacements replayed (ReplaceNode).\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_failovers_total counter\n")
+	fmt.Fprintf(w, "osp_cluster_failovers_total %d\n", co.failovers.Load())
+	fmt.Fprintf(w, "# HELP osp_cluster_resent_elements_total Elements resent to replacement nodes during failover replay.\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_resent_elements_total counter\n")
+	fmt.Fprintf(w, "osp_cluster_resent_elements_total %d\n", co.resent.Load())
+	fmt.Fprintf(w, "# HELP osp_cluster_lost_elements_total Acknowledged elements lost to failovers (always 0 with the journal on).\n")
+	fmt.Fprintf(w, "# TYPE osp_cluster_lost_elements_total counter\n")
+	fmt.Fprintf(w, "osp_cluster_lost_elements_total %d\n", co.lost.Load())
+
+	const name = "osp_cluster_forward_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-share forward round-trip latency (coordinator to node and back, verdicts decoded).\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	snap := co.forward.Snapshot()
+	var cum uint64
+	for i := 0; i < obs.HistogramBuckets; i++ {
+		cum += snap.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(obs.BucketBound(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(snap.SumSecs))
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+}
+
+// nodeLabels renders a member's identifying label pairs.
+func nodeLabels(m *member) string {
+	var b strings.Builder
+	b.WriteString(`slot="`)
+	b.WriteString(strconv.Itoa(m.slot))
+	b.WriteString(`",node="`)
+	b.WriteString(escapeLabel(m.cfg.BaseURL))
+	b.WriteString(`"`)
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that parses back exactly
+// (shared contract with internal/serve's exposition).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

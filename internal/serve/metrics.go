@@ -63,6 +63,11 @@ var perInstanceMetrics = []metricDef{
 // per-stage latency histograms, HTTP outcome counters, decision-log
 // counters, build info and Go runtime gauges.
 func writeMetrics(w io.Writer, s *Server) {
+	if s.cfg.NodeLabel != "" {
+		fmt.Fprintf(w, "# HELP osp_node_info Cluster node identity (value is always 1; the label carries the information).\n")
+		fmt.Fprintf(w, "# TYPE osp_node_info gauge\n")
+		fmt.Fprintf(w, "osp_node_info{node=%q} 1\n", escapeLabel(s.cfg.NodeLabel))
+	}
 	instances := s.pool.Instances()
 
 	states := map[engine.State]int{}

@@ -85,6 +85,12 @@ type Config struct {
 	// answered with real verdicts, then the stream ends with a
 	// "shutting down" error frame. 0 means 1 second.
 	StreamDrainGrace time.Duration
+	// NodeLabel names this node in a cluster deployment (ospserve
+	// -node); when set it is exported as the osp_node_info gauge so a
+	// fleet dashboard can join per-node scrapes to the coordinator's
+	// slot series. Empty means the series is absent (single-node
+	// deployments stay label-free).
+	NodeLabel string
 }
 
 // Hard caps on client-supplied engine sizing: a registration is a cheap

@@ -213,6 +213,16 @@ type Instance struct {
 	// streams counts this instance's open verdict streams (OpenStream);
 	// while positive, Codec reports "stream".
 	streams atomic.Int32
+
+	// transport is the per-instance IngestAuto outcome: 0 until the
+	// first call settles it, then transportStream or transportHTTP.
+	transport atomic.Int32
+	// tmu serializes IngestAuto/Close over the pinned stream, which is
+	// a single in-order connection.
+	tmu sync.Mutex
+	// pinned is the long-lived verdict stream IngestAuto opened, nil
+	// when none is open (guarded by tmu).
+	pinned *Stream
 }
 
 // Codec negotiation outcomes.

@@ -1,0 +1,130 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/osp"
+)
+
+// Transport negotiation: IngestAuto prefers the pipelined stream
+// transport (one long-lived TCP connection to the server's
+// -stream-listen port) and falls back to binary HTTP — once, pinned per
+// instance — when the target node has no stream listener. This is the
+// transport-level mirror of CodecAuto's JSON fallback: a fleet
+// coordinator can point the same client code at a mixed fleet where
+// some nodes expose the stream port and some predate it, and every node
+// settles onto the fastest transport it actually speaks after at most
+// one failed dial.
+
+// Transport pinning outcomes for IngestAuto, reported by Transport.
+const (
+	transportUnresolved int32 = iota
+	transportStream
+	transportHTTP
+)
+
+// IngestAuto streams one batch like IngestFunc but negotiates the
+// transport as well as the codec: when the client has a stream address
+// (WithStreamAddr), the first call dials it and pins a long-lived
+// verdict stream for this instance; if the dial or handshake fails —
+// the node has no stream listener, or something else answers the port —
+// the batch is retried over binary HTTP exactly once and the instance
+// stays pinned to HTTP, never re-dialing per batch. A server that
+// speaks the stream protocol but *refuses* the instance (an Error
+// frame, surfaced as *APIError) is authoritative: no fallback, the
+// error is returned. The HTTP arm inherits CodecAuto's per-instance
+// JSON fallback unchanged.
+//
+// fn (nil allowed: verdicts are discarded) runs once per element, in
+// batch order, with the parent sets the element was admitted to; the
+// admitted slice is reused scratch, valid
+// only during the callback. IngestAuto serializes concurrent callers on
+// the instance's transport mutex (the pinned stream is a single
+// in-order connection); after a terminal stream error the connection is
+// closed and the next call re-dials. Call Close when done to release a
+// pinned stream gracefully.
+func (in *Instance) IngestAuto(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
+	if fn == nil {
+		fn = func(int, []osp.SetID) {} // verdicts wanted for their side effect only
+	}
+	in.tmu.Lock()
+	defer in.tmu.Unlock()
+	if in.transport.Load() == transportHTTP || in.c.streamAddr == "" {
+		in.transport.Store(transportHTTP)
+		return in.IngestFunc(ctx, els, fn)
+	}
+	if in.pinned == nil {
+		st, err := in.OpenStream(ctx)
+		if err != nil {
+			var apiErr *APIError
+			if in.transport.Load() == transportUnresolved && !errors.As(err, &apiErr) {
+				// The node does not speak the stream protocol on that
+				// address (no listener, or a different service). Fall back
+				// to binary HTTP and stay pinned: one failed dial per
+				// instance, not one per batch.
+				in.transport.Store(transportHTTP)
+				return in.IngestFunc(ctx, els, fn)
+			}
+			return err
+		}
+		in.pinned = st
+		in.transport.Store(transportStream)
+	}
+	if err := in.pinned.Send(els); err != nil {
+		return in.dropPinned(err)
+	}
+	if err := in.pinned.Recv(fn); err != nil {
+		return in.dropPinned(err)
+	}
+	return nil
+}
+
+// dropPinned tears down the pinned stream after a terminal error; the
+// transport stays pinned to stream, so the next IngestAuto re-dials.
+func (in *Instance) dropPinned(err error) error {
+	in.pinned.Close() //nolint:errcheck // the stream is already broken
+	in.pinned = nil
+	return err
+}
+
+// Transport reports IngestAuto's pinned transport for this instance:
+// "stream" or "http" once the first call settles it, "auto" before.
+func (in *Instance) Transport() string {
+	switch in.transport.Load() {
+	case transportStream:
+		return "stream"
+	case transportHTTP:
+		return "http"
+	default:
+		return "auto"
+	}
+}
+
+// Close releases the instance's pinned stream, if IngestAuto opened
+// one, with a clean half-close handshake (every pipelined batch is
+// answered before the server confirms). The instance handle itself
+// stays usable — the next IngestAuto re-dials. Safe to call when no
+// stream is pinned.
+func (in *Instance) Close() error {
+	in.tmu.Lock()
+	defer in.tmu.Unlock()
+	if in.pinned == nil {
+		return nil
+	}
+	st := in.pinned
+	in.pinned = nil
+	err := st.CloseSend()
+	for err == nil {
+		err = st.Recv(func(int, []osp.SetID) {})
+	}
+	if cerr := st.Close(); cerr != nil && err == io.EOF {
+		err = cerr
+	}
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("client: close stream: %w", err)
+	}
+	return nil
+}
