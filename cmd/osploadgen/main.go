@@ -14,6 +14,7 @@
 //	osploadgen -policy first-fit -n 100000  # register a non-default policy
 //	osploadgen -codec json -n 200000    # force the JSON wire path (-codec binary forces binary)
 //	osploadgen -transport stream -n 500000  # pipelined frames over one TCP connection
+//	osploadgen -transport stream -conns 4   # stripe the stream across 4 TCP connections
 //	osploadgen -addr http://host:8080 -stream-addr host:8081 -transport stream
 //	osploadgen -policy randpr-weighted -zipf 1.2  # skewed Zipf(1.2) set weights,
 //	                                    # where the weighted variant actually diverges
@@ -64,6 +65,7 @@ func run(args []string, w io.Writer) error {
 		codec    = fs.String("codec", "auto", "ingest wire codec: auto (binary with JSON fallback), json, binary")
 		trans    = fs.String("transport", "http", "ingest transport: http (one request per batch) or stream (pipelined frames over one TCP connection)")
 		pipeline = fs.Int("pipeline", 8, "stream transport: batches kept in flight (capped by the server's window)")
+		conns    = fs.Int("conns", 1, "stream transport: striped TCP connections per stream (verdict order preserved; applies per node in cluster mode)")
 		strmAddr = fs.String("stream-addr", "", "host:port of the server's stream listener (ospserve -stream-listen); defaults to the embedded server's")
 		nodesCSV = fs.String("nodes", "", "cluster mode: comma-separated node base URLs, in slot order; ingest routes through a cluster coordinator instead of one server")
 		strmCSV  = fs.String("stream-nodes", "", "cluster mode: comma-separated stream listener host:ports, parallel to -nodes (\"\" entries = HTTP-only node)")
@@ -96,6 +98,9 @@ func run(args []string, w io.Writer) error {
 	if *pipeline < 1 {
 		return fmt.Errorf("pipeline depth must be >= 1, got %d", *pipeline)
 	}
+	if *conns < 1 {
+		return fmt.Errorf("conns must be >= 1, got %d", *conns)
+	}
 	var weightFn func(i int) float64
 	if *zipf > 0 {
 		// The skewed-weight scenario: without it, randpr-weighted decides
@@ -122,7 +127,7 @@ func run(args []string, w io.Writer) error {
 		return runCluster(w, inst, clusterRun{
 			nodes: *nodesCSV, streamNodes: *strmCSV,
 			seed: *seed, rate: *rate, batch: *batch, shards: *shards,
-			policy: *policy, label: *label, verify: *verify,
+			conns: *conns, policy: *policy, label: *label, verify: *verify,
 		})
 	}
 
@@ -149,6 +154,9 @@ func run(args []string, w io.Writer) error {
 	opts := []client.Option{client.WithCodec(wireCodec)}
 	if streamAddr != "" {
 		opts = append(opts, client.WithStreamAddr(streamAddr))
+		if *conns > 1 {
+			opts = append(opts, client.WithStreamConns(*conns))
+		}
 	}
 	c, err := client.New(base, opts...)
 	if err != nil {
@@ -173,6 +181,7 @@ func run(args []string, w io.Writer) error {
 	start := time.Now()
 	batches := 0
 	codecName := ""
+	var perConn []uint64
 	lat := make([]time.Duration, 0, (len(inst.Elements)+*batch-1)/(*batch))
 	pace := func(off int) {
 		if *rate > 0 {
@@ -259,6 +268,7 @@ func run(args []string, w io.Writer) error {
 		if err := st.Recv(func(int, []osp.SetID) {}); err != io.EOF {
 			return fmt.Errorf("stream fin: %v", err)
 		}
+		perConn = st.ConnElements()
 		codecName = h.Codec() // "stream" while the stream is open
 		return nil
 	}
@@ -283,6 +293,9 @@ func run(args []string, w io.Writer) error {
 	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
 	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d batches, transport %s, codec %s)\n",
 		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches, *trans, codecName)
+	if len(perConn) > 1 {
+		fmt.Fprintf(w, "stripes:  %d connections, elements per connection %v\n", len(perConn), perConn)
+	}
 	p50, p95, p99 := latencyPercentiles(lat)
 	fmt.Fprintf(w, "latency:  per-batch client-observed p50 %v, p95 %v, p99 %v\n",
 		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
@@ -324,6 +337,7 @@ type clusterRun struct {
 	seed               int64
 	rate               float64
 	batch, shards      int
+	conns              int
 	policy, label      string
 	verify             bool
 }
@@ -348,7 +362,7 @@ func runCluster(w io.Writer, inst *osp.Instance, p clusterRun) error {
 	for i, b := range bases {
 		fleet[i] = cluster.Node{BaseURL: strings.TrimSpace(b), StreamAddr: strings.TrimSpace(streams[i])}
 	}
-	co, err := cluster.New(cluster.Config{Nodes: fleet})
+	co, err := cluster.New(cluster.Config{Nodes: fleet, StreamConns: p.conns})
 	if err != nil {
 		return err
 	}
@@ -390,6 +404,9 @@ func runCluster(w io.Writer, inst *osp.Instance, p clusterRun) error {
 	}
 	elapsed := time.Since(start)
 
+	// Capture stripe balance before Drain — draining closes each node's
+	// pinned stream, and the per-connection counters go with it.
+	striped := in.StreamConnElements()
 	res, err := in.Drain(ctx)
 	if err != nil {
 		return err
@@ -397,6 +414,13 @@ func runCluster(w io.Writer, inst *osp.Instance, p clusterRun) error {
 	sustained := float64(len(inst.Elements)) / elapsed.Seconds()
 	fmt.Fprintf(w, "loadgen:  %d elements in %v (%.0f elements/sec over %d batches, cluster fan-out)\n",
 		len(inst.Elements), elapsed.Round(time.Microsecond), sustained, batches)
+	if p.conns > 1 {
+		for _, slot := range in.Slots() {
+			if per, ok := striped[slot]; ok {
+				fmt.Fprintf(w, "stripes:  node %d: %d connections, elements per connection %v\n", slot, len(per), per)
+			}
+		}
+	}
 	p50, p95, p99 := latencyPercentiles(lat)
 	fmt.Fprintf(w, "latency:  per-batch client-observed p50 %v, p95 %v, p99 %v\n",
 		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))

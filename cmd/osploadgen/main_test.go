@@ -82,11 +82,35 @@ func TestLoadgenStreamTransport(t *testing.T) {
 	if err := run([]string{"-pipeline", "0", "-n", "10"}, &buf); err == nil {
 		t.Error("pipeline depth 0 accepted")
 	}
+	if err := run([]string{"-conns", "0", "-n", "10"}, &buf); err == nil {
+		t.Error("conns 0 accepted")
+	}
 	// A remote server without a stream address cannot carry the stream
 	// transport.
 	if err := run([]string{"-addr", "http://127.0.0.1:1", "-transport", "stream", "-n", "10"}, &buf); err == nil ||
 		!strings.Contains(err.Error(), "stream-addr") {
 		t.Errorf("remote stream without -stream-addr = %v, want config error", err)
+	}
+}
+
+// TestLoadgenStreamConns runs the striped multi-connection stream path:
+// the oracle check must still pass and the stripe-balance line must
+// report every connection carrying elements.
+func TestLoadgenStreamConns(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-m", "40", "-n", "6000", "-load", "4", "-batch", "250",
+		"-seed", "9", "-transport", "stream", "-pipeline", "4", "-conns", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"stripes:  3 connections, elements per connection",
+		"verify:   drained result bit-for-bit identical",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
 	}
 }
 
@@ -187,6 +211,7 @@ func TestLoadgenClusterMode(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	err := run([]string{"-m", "30", "-n", "3000", "-load", "3", "-batch", "250", "-seed", "21",
+		"-conns", "2",
 		"-nodes", strings.Join(nodes, ","), "-stream-nodes", strings.Join(streams, ",")}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +220,8 @@ func TestLoadgenClusterMode(t *testing.T) {
 	for _, frag := range []string{
 		"target:   cluster of 2 nodes, instance c-0 on slots [0 1]",
 		"loadgen:  3000 elements",
+		"stripes:  node 0: 2 connections, elements per connection",
+		"stripes:  node 1: 2 connections, elements per connection",
 		"verify:   merged cluster drain bit-for-bit identical to serial randpr oracle",
 	} {
 		if !strings.Contains(out, frag) {

@@ -1,5 +1,5 @@
 // Command ospperf measures the admission hot path and emits the tracked
-// benchmark baseline (BENCH_5.json): ns/element and allocs/element for the
+// benchmark baseline (BENCH_6.json): ns/element and allocs/element for the
 // top-k decide kernel (against the sort-based path it replaced), the
 // serial runner, the streaming engine across a shard-count matrix (plus
 // an interface-dispatch row proving the VectorState fast path is ≥
@@ -7,22 +7,29 @@
 // the skewed Zipf-weight workload, the service-level mode — the full
 // networked ingest path over an embedded server: JSON over HTTP, the
 // zero-allocation binary codec over HTTP, and the same binary frames
-// pipelined over the raw-TCP stream transport — and the cluster scaling
-// rows: the same workload fanned across N coordinator-fronted nodes by
-// element hash and merged on drain.
+// pipelined over the raw-TCP stream transport, across a striped
+// connection-count matrix (conns=1,2,4) plus a forced copying-decode
+// row that quantifies the server's zero-copy frame→batch ingest — and
+// the cluster scaling rows: the same workload fanned across N
+// coordinator-fronted nodes by element hash and merged on drain.
 //
 // Usage:
 //
-//	ospperf                       # full matrix, writes BENCH_5.json
+//	ospperf                       # full matrix, writes BENCH_6.json
 //	ospperf -quick -out /dev/null # CI smoke sizes
 //	ospperf -failonalloc          # exit 1 on any allocs/element > 0
+//	ospperf -compare BENCH_5.json BENCH_6.json
+//	                              # per-row ns/element deltas; exit 1 when
+//	                              # any shared row regresses past -regress
 //
 // The JSON is the regression contract: future PRs rerun ospperf and
-// compare (engine rows must stay within noise of BENCH_4.json; the
-// binary and stream service rows anchor the wire-path win; the cluster
-// rows anchor horizontal scaling, meaningful only on multi-core
-// runners). CI runs the -quick -failonalloc mode on every push and
-// uploads the artifact.
+// diff against the committed baseline with -compare (engine rows must
+// stay within noise; the binary and stream service rows anchor the
+// wire-path win; the cluster and conns>1 rows anchor scaling,
+// meaningful only on multi-core runners). CI runs the -quick
+// -failonalloc mode on every push, uploads the artifact, and compares
+// it against the committed baseline — informational on single-vCPU
+// runners, enforced where parallelism is real.
 package main
 
 import (
@@ -52,8 +59,9 @@ import (
 	"repro/osp/client"
 )
 
-// Report is the schema of BENCH_5.json (a superset of BENCH_4.json's:
-// cluster scaling rows join the matrix).
+// Report is the schema of BENCH_6.json (a superset of BENCH_5.json's:
+// the stream service row becomes a striped-connection matrix with an
+// explicit decode column).
 type Report struct {
 	Bench         string       `json:"bench"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -142,9 +150,17 @@ type PolicyBench struct {
 // tests pin the decode paths themselves at 0. SpeedupVsJSON is filled
 // on non-JSON rows; SpeedupVsBinary compares the stream row against the
 // binary-HTTP row — the same codec, so it isolates the transport win.
+// Stream rows carry two extra columns: Conns is the striped
+// TCP-connection count (client.WithStreamConns; 0 or 1 is the single
+// connection), and Decode distinguishes the server's default zero-copy
+// frame→batch ingest ("zero-copy") from the forced copying decoder
+// ("copy", ospserve -stream-copy-decode) — the pair isolates the
+// in-place aliasing win at identical wire traffic.
 type ServiceBench struct {
 	Codec            string  `json:"codec"`
 	Transport        string  `json:"transport"`
+	Conns            int     `json:"conns,omitempty"`
+	Decode           string  `json:"decode,omitempty"`
 	Elements         int     `json:"elements"`
 	Batch            int     `json:"batch"`
 	NsPerElement     float64 `json:"ns_per_element"`
@@ -181,16 +197,24 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ospperf", flag.ContinueOnError)
 	var (
-		out         = fs.String("out", "BENCH_5.json", "output JSON path (- prints the JSON to stdout)")
+		out         = fs.String("out", "BENCH_6.json", "output JSON path (- prints the JSON to stdout)")
 		shardsFlag  = fs.String("shards", "1,2,4,8", "comma-separated shard counts for the engine matrix")
 		quick       = fs.Bool("quick", false, "small sizes for a CI smoke pass")
 		reps        = fs.Int("reps", 3, "timed repetitions per cell (best-of)")
 		seed        = fs.Int64("seed", 1, "workload generation seed")
 		failOnAlloc = fs.Bool("failonalloc", false, "exit nonzero if any steady-state allocs/element > 0 (service rows excluded: they include client-side JSON marshal)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		compare     = fs.Bool("compare", false, "compare mode: ospperf -compare OLD.json NEW.json prints per-row ns/element deltas and exits nonzero on regressions past -regress")
+		regress     = fs.Float64("regress", 0.25, "compare mode: fail when a shared row's ns/element grows by more than this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two report paths (old new), got %d args", fs.NArg())
+		}
+		return compareReports(fs.Arg(0), fs.Arg(1), *regress, w)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -314,7 +338,26 @@ func run(args []string, w io.Writer) error {
 		rep.Service = append(rep.Service, sb)
 		printService(w, sb)
 	}
-	sb, err := benchServiceStream(inst, svcBatch, *reps, *seed)
+	// Stream matrix: the striped connection counts, then the forced
+	// copying decoder at conns=1 — same wire traffic as the first row,
+	// so the pair isolates the server's zero-copy ingest win. On a
+	// single-core runner conns>1 cannot beat conns=1; CI gates the
+	// striping floor only on multi-core runners.
+	for _, conns := range []int{1, 2, 4} {
+		sb, err := benchServiceStream(inst, svcBatch, *reps, *seed, conns, false)
+		if err != nil {
+			return err
+		}
+		if jsonRate > 0 {
+			sb.SpeedupVsJSON = sb.ElementsPerSec / jsonRate
+		}
+		if binRate > 0 {
+			sb.SpeedupVsBinary = sb.ElementsPerSec / binRate
+		}
+		rep.Service = append(rep.Service, sb)
+		printService(w, sb)
+	}
+	sb, err := benchServiceStream(inst, svcBatch, *reps, *seed, 1, true)
 	if err != nil {
 		return err
 	}
@@ -397,8 +440,15 @@ func run(args []string, w io.Writer) error {
 
 // printService renders one service row on the progress log.
 func printService(w io.Writer, sb ServiceBench) {
-	fmt.Fprintf(w, "service codec=%s transport=%s: %.1f ns/element, %.0f elements/s, allocs/element %.3f",
-		sb.Codec, sb.Transport, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
+	extra := ""
+	if sb.Conns > 0 {
+		extra = fmt.Sprintf(" conns=%d", sb.Conns)
+	}
+	if sb.Decode != "" {
+		extra += " decode=" + sb.Decode
+	}
+	fmt.Fprintf(w, "service codec=%s transport=%s%s: %.1f ns/element, %.0f elements/s, allocs/element %.3f",
+		sb.Codec, sb.Transport, extra, sb.NsPerElement, sb.ElementsPerSec, sb.AllocsPerElement)
 	if sb.SpeedupVsJSON > 0 {
 		fmt.Fprintf(w, ", %.2fx JSON", sb.SpeedupVsJSON)
 	}
@@ -406,6 +456,125 @@ func printService(w io.Writer, sb ServiceBench) {
 		fmt.Fprintf(w, ", %.2fx binary-HTTP", sb.SpeedupVsBinary)
 	}
 	fmt.Fprintln(w)
+}
+
+// compareRow is one comparable cell of a report: a stable key and the
+// row's ns/element. Keys are chosen so the same measurement matches
+// across schema generations — BENCH_5's single stream row carried no
+// conns/decode columns and keys identically to the conns=1 zero-copy
+// row it became.
+type compareRow struct {
+	key string
+	ns  float64
+}
+
+// reportRows flattens a report into keyed ns/element rows, in display
+// order.
+func reportRows(rep Report) []compareRow {
+	rows := []compareRow{
+		{"decide/kernel", rep.Decide.KernelNsPerElement},
+		{"serial", rep.Serial.NsPerElement},
+	}
+	for _, sb := range rep.Engine {
+		rows = append(rows, compareRow{fmt.Sprintf("engine/shards=%d", sb.Shards), sb.NsPerElement})
+	}
+	if rep.EngineInterface.Elements > 0 {
+		rows = append(rows, compareRow{"engine/interface", rep.EngineInterface.NsPerElement})
+	}
+	if rep.EngineTelemetry.Elements > 0 {
+		rows = append(rows, compareRow{"engine/telemetry", rep.EngineTelemetry.NsPerElement})
+	}
+	for _, pb := range rep.Policies {
+		rows = append(rows, compareRow{fmt.Sprintf("policy/%s/%s", pb.Policy, pb.Workload), pb.NsPerElement})
+	}
+	for _, sb := range rep.Service {
+		key := fmt.Sprintf("service/%s/%s", sb.Codec, sb.Transport)
+		if sb.Conns > 1 {
+			key += fmt.Sprintf("/conns=%d", sb.Conns)
+		}
+		if sb.Decode == "copy" {
+			key += "/copy-decode"
+		}
+		rows = append(rows, compareRow{key, sb.NsPerElement})
+	}
+	for _, cb := range rep.Cluster {
+		rows = append(rows, compareRow{fmt.Sprintf("cluster/nodes=%d", cb.Nodes), cb.NsPerElement})
+	}
+	return rows
+}
+
+func readReport(path string) (Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports is the -compare arm: per-row ns/element deltas between
+// two report files, new rows and vanished rows called out, and a
+// nonzero exit when any row shared by both reports slows down by more
+// than threshold (a fraction: 0.25 = 25%). Speedups and new rows never
+// fail — the gate is one-sided, a regression detector, not a diff.
+func compareReports(oldPath, newPath string, threshold float64, w io.Writer) error {
+	if threshold < 0 {
+		return fmt.Errorf("regress threshold must be >= 0, got %v", threshold)
+	}
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), regression threshold %.0f%%\n",
+		oldPath, oldRep.Bench, newPath, newRep.Bench, threshold*100)
+	if oldRep.Quick != newRep.Quick || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Fprintf(w, "note: configurations differ (quick %v -> %v, GOMAXPROCS %d -> %d); deltas are indicative only\n",
+			oldRep.Quick, newRep.Quick, oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
+
+	oldRows := reportRows(oldRep)
+	oldNs := make(map[string]float64, len(oldRows))
+	for _, r := range oldRows {
+		oldNs[r.key] = r.ns
+	}
+	newKeys := make(map[string]bool)
+	var regressions []string
+	for _, r := range reportRows(newRep) {
+		newKeys[r.key] = true
+		old, ok := oldNs[r.key]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %31s %10.1f ns/el\n", r.key, "(new row)", r.ns)
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (r.ns - old) / old
+		}
+		mark := ""
+		if old > 0 && r.ns > old*(1+threshold) {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/el (%+.1f%%)", r.key, old, r.ns, delta*100))
+		}
+		fmt.Fprintf(w, "%-40s %10.1f -> %10.1f ns/el  %+6.1f%%%s\n", r.key, old, r.ns, delta*100, mark)
+	}
+	for _, r := range oldRows {
+		if !newKeys[r.key] {
+			fmt.Fprintf(w, "%-40s %31s\n", r.key, "(row absent from new report)")
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d row(s) regressed past %.0f%%:\n  %s",
+			len(regressions), threshold*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no row regressed past %.0f%%\n", threshold*100)
+	return nil
 }
 
 func parseShards(s string) ([]int, error) {
@@ -776,15 +945,18 @@ func benchService(inst *setsystem.Instance, codec client.Codec, batch, reps int,
 	}, nil
 }
 
-// benchServiceStream measures the stream-transport row: the same
+// benchServiceStream measures one stream-transport row: the same
 // embedded server and workload as benchService, but batches go out as
-// pipelined frames over one long-lived TCP connection (depth 8) and
-// verdicts come back as in-order frames decoded in place — no request
-// envelope, no response materialization. Registration and drain stay on
-// the HTTP API, outside the timed ingest loop's hot path but inside the
-// pass (same as the HTTP rows, so the comparison is like for like).
-func benchServiceStream(inst *setsystem.Instance, batch, reps int, seed int64) (ServiceBench, error) {
-	srv := osp.NewServer(osp.ServerConfig{})
+// pipelined frames over conns long-lived striped TCP connections
+// (depth 8 in flight overall) and verdicts come back as in-order frames
+// decoded in place — no request envelope, no response materialization.
+// copyDecode forces the server's copying frame decoder (the "before" of
+// the zero-copy comparison; the default server path aliases each frame's
+// payload in place). Registration and drain stay on the HTTP API,
+// outside the timed ingest loop's hot path but inside the pass (same as
+// the HTTP rows, so the comparison is like for like).
+func benchServiceStream(inst *setsystem.Instance, batch, reps int, seed int64, conns int, copyDecode bool) (ServiceBench, error) {
+	srv := osp.NewServer(osp.ServerConfig{StreamCopyDecode: copyDecode})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return ServiceBench{}, err
@@ -804,8 +976,11 @@ func benchServiceStream(inst *setsystem.Instance, batch, reps int, seed int64) (
 		srv.Shutdown(ctx) //nolint:errcheck
 	}()
 
-	c, err := client.New("http://"+ln.Addr().String(),
-		client.WithStreamAddr(sln.Addr().String()))
+	copts := []client.Option{client.WithStreamAddr(sln.Addr().String())}
+	if conns > 1 {
+		copts = append(copts, client.WithStreamConns(conns))
+	}
+	c, err := client.New("http://"+ln.Addr().String(), copts...)
 	if err != nil {
 		return ServiceBench{}, err
 	}
@@ -886,10 +1061,16 @@ func benchServiceStream(inst *setsystem.Instance, batch, reps int, seed int64) (
 		return ServiceBench{}, passErr
 	}
 
+	decode := "zero-copy"
+	if copyDecode {
+		decode = "copy"
+	}
 	n := inst.NumElements()
 	return ServiceBench{
 		Codec:            "binary",
 		Transport:        "stream",
+		Conns:            conns,
+		Decode:           decode,
 		Elements:         n,
 		Batch:            batch,
 		NsPerElement:     float64(ns) / float64(n),

@@ -87,13 +87,17 @@ func TestQuickMatrix(t *testing.T) {
 		t.Errorf("interface-dispatch engine allocates %.3f/element, want 0", rep.EngineInterface.AllocsPerElement)
 	}
 
-	// Service rows: json and binary over HTTP, then binary over the
-	// stream transport, the non-JSON rows carrying their speedups.
-	if len(rep.Service) != 3 ||
+	// Service rows: json and binary over HTTP, then the stream matrix —
+	// striped connection counts 1/2/4 and the forced copying-decode row
+	// that anchors the zero-copy comparison.
+	if len(rep.Service) != 6 ||
 		rep.Service[0].Codec != "json" || rep.Service[0].Transport != "http" ||
 		rep.Service[1].Codec != "binary" || rep.Service[1].Transport != "http" ||
-		rep.Service[2].Codec != "binary" || rep.Service[2].Transport != "stream" {
-		t.Fatalf("service rows = %+v, want [json/http binary/http binary/stream]", rep.Service)
+		rep.Service[2].Transport != "stream" || rep.Service[2].Conns != 1 || rep.Service[2].Decode != "zero-copy" ||
+		rep.Service[3].Transport != "stream" || rep.Service[3].Conns != 2 || rep.Service[3].Decode != "zero-copy" ||
+		rep.Service[4].Transport != "stream" || rep.Service[4].Conns != 4 || rep.Service[4].Decode != "zero-copy" ||
+		rep.Service[5].Transport != "stream" || rep.Service[5].Conns != 1 || rep.Service[5].Decode != "copy" {
+		t.Fatalf("service rows = %+v, want [json/http binary/http stream/conns=1,2,4 stream/copy]", rep.Service)
 	}
 	for _, sb := range rep.Service {
 		if sb.ElementsPerSec <= 0 || sb.NsPerElement <= 0 {
@@ -108,8 +112,10 @@ func TestQuickMatrix(t *testing.T) {
 	if sp := rep.Service[2].SpeedupVsBinary; sp <= 1 {
 		t.Errorf("stream service path is %.2fx binary-HTTP, want > 1x", sp)
 	}
-	if a := rep.Service[2].AllocsPerElement; a > 0.1 {
-		t.Errorf("stream service path allocates %.3f/element process-wide, want <= 0.1", a)
+	for _, i := range []int{2, 3, 4, 5} {
+		if a := rep.Service[i].AllocsPerElement; a > 0.1 {
+			t.Errorf("stream service row %d allocates %.3f/element process-wide, want <= 0.1", i, a)
+		}
 	}
 
 	// Cluster scaling rows: the quick matrix runs fleets of 1 and 2, the
@@ -127,6 +133,89 @@ func TestQuickMatrix(t *testing.T) {
 	}
 	if rep.Cluster[1].SpeedupVsSingle <= 0 {
 		t.Errorf("2-node cluster row missing its speedup-vs-single column: %+v", rep.Cluster[1])
+	}
+}
+
+// TestCompareMode pins the -compare arm: matched rows get deltas (the
+// BENCH_5-era stream row, carrying no conns/decode columns, must match
+// the new conns=1 zero-copy row), regressions past -regress fail, pure
+// speedups and new rows pass, and bad invocations error cleanly.
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		t.Helper()
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldRep := Report{
+		Bench:  "admission-hot-path",
+		Serial: SerialBench{Elements: 100, NsPerElement: 100},
+		Engine: []ShardBench{{Shards: 1, Elements: 100, NsPerElement: 200}},
+		Service: []ServiceBench{
+			{Codec: "binary", Transport: "stream", NsPerElement: 370}, // BENCH_5 schema: no conns/decode
+		},
+	}
+	newRep := Report{
+		Bench:  "admission-hot-path",
+		Serial: SerialBench{Elements: 100, NsPerElement: 105}, // +5%: within threshold
+		Engine: []ShardBench{{Shards: 1, Elements: 100, NsPerElement: 150}},
+		Service: []ServiceBench{
+			{Codec: "binary", Transport: "stream", Conns: 1, Decode: "zero-copy", NsPerElement: 290},
+			{Codec: "binary", Transport: "stream", Conns: 4, Decode: "zero-copy", NsPerElement: 250}, // new row
+		},
+	}
+	oldPath, newPath := write("old.json", oldRep), write("new.json", newRep)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("compare of an improved report failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"service/binary/stream ", // the schema-bridged match gets a delta line
+		"service/binary/stream/conns=4",
+		"(new row)",
+		"no row regressed",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("compare output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// A >threshold slowdown on a shared row must fail and name the row.
+	slow := newRep
+	slow.Serial = SerialBench{Elements: 100, NsPerElement: 160} // +60%
+	slowPath := write("slow.json", slow)
+	buf.Reset()
+	err := run([]string{"-compare", "-regress", "0.5", oldPath, slowPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "serial") {
+		t.Fatalf("compare with a 60%% serial regression = %v, want failure naming the row", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("regressed row not marked in output:\n%s", buf.String())
+	}
+
+	// The same pair passes with a permissive threshold.
+	buf.Reset()
+	if err := run([]string{"-compare", "-regress", "0.7", oldPath, slowPath}, &buf); err != nil {
+		t.Fatalf("compare with threshold 0.7 failed: %v", err)
+	}
+
+	if err := run([]string{"-compare", oldPath}, &buf); err == nil {
+		t.Error("compare with one path accepted")
+	}
+	if err := run([]string{"-compare", oldPath, filepath.Join(dir, "missing.json")}, &buf); err == nil {
+		t.Error("compare with a missing file accepted")
+	}
+	if err := run([]string{"-compare", "-regress", "-1", oldPath, newPath}, &buf); err == nil {
+		t.Error("negative regress threshold accepted")
 	}
 }
 

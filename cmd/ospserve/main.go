@@ -64,6 +64,8 @@ func run(args []string, w io.Writer) error {
 		listen  = fs.String("listen", "", "service mode: serve the HTTP admission API on this address (e.g. :8080)")
 		strmLn  = fs.String("stream-listen", "", "service mode: also serve the raw-TCP stream transport on this address (e.g. :8081)")
 		strmWin = fs.Int("stream-window", 0, "stream transport: pipelined batches allowed in flight per connection (0 = default 32)")
+		strmCpy = fs.Bool("stream-copy-decode", false, "stream transport: force the copying batch decoder instead of zero-copy aliasing (A/B escape hatch)")
+		strmTim = fs.Bool("stream-timings", false, "stream transport: record per-batch decode latency into the osp_stream_decode histogram (two time.Now stamps per frame)")
 		nodeLbl = fs.String("node", "", "service mode: node name exported as the osp_node_info metric (cluster deployments)")
 		maxInst = fs.Int("max-instances", 0, "service mode: engine pool limit (0 = default 1024)")
 		maxBat  = fs.Int("max-batch", 0, "service mode: per-request ingest batch cap (0 = default 65536)")
@@ -108,7 +110,8 @@ func run(args []string, w io.Writer) error {
 		defer signal.Stop(stop)
 		return runService(*listen, *strmLn, osp.ServerConfig{
 			MaxInstances: *maxInst, MaxBatch: *maxBat, MaxBodyBytes: *maxBody,
-			StreamWindow: *strmWin, Decisions: dlog, EnablePprof: *pprofOn,
+			StreamWindow: *strmWin, StreamCopyDecode: *strmCpy, StreamTimings: *strmTim,
+			Decisions: dlog, EnablePprof: *pprofOn,
 			NodeLabel: *nodeLbl,
 		}, w, stop, nil)
 	}

@@ -52,6 +52,10 @@ type Config struct {
 	// Vnodes is the consistent-hash virtual-node count per slot;
 	// 0 means the default (64).
 	Vnodes int
+	// StreamConns is the number of striped TCP connections each node's
+	// stream client opens (client.WithStreamConns); 0 or 1 means a
+	// single connection. Only nodes with a StreamAddr are affected.
+	StreamConns int
 }
 
 // Spec describes one cluster-level instance registration.
@@ -105,10 +109,13 @@ type member struct {
 	errs     atomic.Uint64
 }
 
-func dialMember(slot int, cfg Node, hc *http.Client) (*member, error) {
+func dialMember(slot int, cfg Node, hc *http.Client, conns int) (*member, error) {
 	opts := []client.Option{client.WithHTTPClient(hc)}
 	if cfg.StreamAddr != "" {
 		opts = append(opts, client.WithStreamAddr(cfg.StreamAddr))
+		if conns > 1 {
+			opts = append(opts, client.WithStreamConns(conns))
+		}
 	}
 	c, err := client.New(cfg.BaseURL, opts...)
 	if err != nil {
@@ -124,6 +131,7 @@ func dialMember(slot int, cfg Node, hc *http.Client) (*member, error) {
 // order is part of the arrival order the oracle sees).
 type Coordinator struct {
 	journal bool
+	conns   int
 	ring    *Ring
 	log     *Log
 	httpc   *http.Client
@@ -155,6 +163,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	co := &Coordinator{
 		journal: cfg.Journal,
+		conns:   cfg.StreamConns,
 		ring:    NewRing(len(cfg.Nodes), cfg.Vnodes),
 		log:     lg,
 		httpc:   hc,
@@ -162,7 +171,7 @@ func New(cfg Config) (*Coordinator, error) {
 		insts:   make(map[string]*Instance),
 	}
 	for i, n := range cfg.Nodes {
-		m, err := dialMember(i, n, hc)
+		m, err := dialMember(i, n, hc, cfg.StreamConns)
 		if err != nil {
 			return nil, err
 		}
@@ -284,6 +293,23 @@ func (in *Instance) ID() string { return in.id }
 // Slots returns the hosting slot indices, ascending: one for a pinned
 // instance, all of them for fan-out.
 func (in *Instance) Slots() []int { return append([]int(nil), in.slots...) }
+
+// StreamConnElements reports, per hosting slot, the element count each
+// striped stream connection to that node has carried
+// (client.Instance.StreamConnElements) — the loadgen's view of stripe
+// balance across the fleet. Slots whose transport settled on HTTP (or
+// that have not ingested yet) are absent from the map.
+func (in *Instance) StreamConnElements() map[int][]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[int][]uint64, len(in.handles))
+	for slot, h := range in.handles {
+		if per := h.StreamConnElements(); per != nil {
+			out[slot] = per
+		}
+	}
+	return out
+}
 
 // Owner returns the hosting slot that decides el — the fan-out hash for
 // a split instance, the pinned slot otherwise. Exported so tests (and
@@ -483,7 +509,7 @@ func (co *Coordinator) ReplaceNode(ctx context.Context, slot int, replacement No
 	if err := co.ring.validateSlot(slot); err != nil {
 		return err
 	}
-	m, err := dialMember(slot, replacement, co.httpc)
+	m, err := dialMember(slot, replacement, co.httpc, co.conns)
 	if err != nil {
 		return err
 	}

@@ -167,6 +167,42 @@ func topByPriority(cands []setsystem.SetID, capacity int, prio []float64) []sets
 	if capacity <= 0 {
 		return cands[:0]
 	}
+	// Small-degree fast paths: the overwhelmingly common capacities in
+	// link-rate workloads are 1 and 2, where maintaining an insertion
+	// window is pure overhead — a single running max (or ordered pair)
+	// scan decides with one comparison per candidate and no shifting.
+	// Both reproduce the oracle exactly: better is a strict total order,
+	// so the max (or top pair) is unique.
+	if capacity == 1 {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if better(c, best, prio) {
+				best = c
+			}
+		}
+		cands[0] = best
+		return cands[:1]
+	}
+	if capacity == 2 {
+		a, b := cands[0], cands[1] // a better than b, maintained below
+		if better(b, a, prio) {
+			a, b = b, a
+		}
+		for _, c := range cands[2:] {
+			if better(c, b, prio) {
+				if better(c, a, prio) {
+					a, b = c, a
+				} else {
+					b = c
+				}
+			}
+		}
+		if b < a { // contract: ascending SetID order
+			a, b = b, a
+		}
+		cands[0], cands[1] = a, b
+		return cands[:2]
+	}
 	if capacity <= insertionCap {
 		return insertionTopK(cands, capacity, prio)
 	}

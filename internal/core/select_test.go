@@ -109,6 +109,31 @@ func TestSelectEdgeCases(t *testing.T) {
 	}
 }
 
+// TestSelectSmallCapacityMatchesOracle exhausts the capacity-1 and
+// capacity-2 fast paths densely: every member count up to 24, tie-heavy
+// priority alphabets down to a single level (all tied — pure SetID
+// tie-break), compared to the sort oracle on each draw. The property
+// test sweeps these capacities too; this pins them with far more trials
+// per regime.
+func TestSelectSmallCapacityMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, capacity := range []int{1, 2} {
+		for n := capacity + 1; n <= 24; n++ {
+			for _, levels := range []int{1, 2, 5} {
+				for trial := 0; trial < 200; trial++ {
+					m := n + rng.Intn(40)
+					members := randMembers(rng, m, n)
+					prio := make([]float64, m)
+					for i := range prio {
+						prio[i] = float64(rng.Intn(levels))
+					}
+					checkAgainstOracle(t, members, capacity, prio)
+				}
+			}
+		}
+	}
+}
+
 // TestSelectZeroAlloc asserts the kernel allocates nothing when given a
 // caller buffer, in both the insertion and quickselect regimes.
 func TestSelectZeroAlloc(t *testing.T) {

@@ -170,6 +170,18 @@ type Batch struct {
 	Masks []byte
 	Done  func(seq uint32, masks []byte)
 
+	// Aliased marks a batch whose Members/Caps slices alias transport-
+	// owned memory (a stream connection's read buffer) instead of
+	// engine-owned storage — the zero-copy wire path. The engine treats
+	// such batches as pass-through: Reset detaches the aliased slices
+	// entirely rather than truncating them (a truncated alias would leak
+	// foreign memory into the free list), and the shard returns the
+	// Batch struct to its owner by simply not free-listing it — the
+	// transport slot that created it reuses the struct after its verdict
+	// frame round-trips. Aliased batches must be submitted through
+	// SubmitBatch or a Lane, never built by Submit.
+	Aliased bool
+
 	// base is the global arrival index of the batch's first element —
 	// the submitted counter before this batch — giving every sampled
 	// decision a stable element index without per-element bookkeeping.
@@ -194,11 +206,19 @@ func (b *Batch) Len() int { return len(b.Caps) }
 
 // Reset empties the batch, keeping its storage. The callback-verdict
 // fields are detached, not kept: a recycled batch must never fire a
-// stale Done or append onto a previous connection's mask buffer.
+// stale Done or append onto a previous connection's mask buffer. An
+// aliased batch's element slices are dropped outright — truncating
+// them would retain views of transport-owned buffers past their
+// lifetime.
 func (b *Batch) Reset() {
-	b.Members = b.Members[:0]
-	b.Offs = b.Offs[:0]
-	b.Caps = b.Caps[:0]
+	if b.Aliased {
+		b.Members, b.Offs, b.Caps = nil, nil, nil
+		b.Aliased = false
+	} else {
+		b.Members = b.Members[:0]
+		b.Offs = b.Offs[:0]
+		b.Caps = b.Caps[:0]
+	}
 	b.Seq, b.Masks, b.Done = 0, nil, nil
 }
 
@@ -364,52 +384,65 @@ func (e *Engine) run(s *shard) {
 		base := b.base
 		n := b.Len()
 		wantMasks := b.Done != nil
+		// Hoist the per-batch invariants out of the element loop: the
+		// slice headers never change across the batch (only Masks is
+		// reassigned, tracked locally), so the loop reads registers
+		// instead of reloading through the batch pointer every element.
+		batchMembers, offs, caps, masks := b.Members, b.Offs, b.Caps, b.Masks
+		counts, scratch := s.assigned, s.scratch
 		var assigned, dropped uint64
 		for i := 0; i < n; i++ {
-			members := b.Members[b.Offs[i]:b.Offs[i+1]]
+			members := batchMembers[offs[i]:offs[i+1]]
 			// A sampled or mask-carrying element's members are copied to
 			// shard scratch before the decide reorders them, so the verdict
 			// mask can be computed against the canonical wire order.
 			sampled := slog != nil && slog.Sample()
 			if sampled || wantMasks {
-				s.scratch = append(s.scratch[:0], members...)
+				scratch = append(scratch[:0], members...)
 			}
 			// The batch buffer is engine-owned scratch, so the policy may
 			// reorder it in place — no per-element copy on the hot path.
 			// Vector policies take the devirtualized direct call.
 			var choice []setsystem.SetID
 			if vec != nil {
-				choice = vec.DecideInPlace(members, int(b.Caps[i]))
+				choice = vec.DecideInPlace(members, int(caps[i]))
 			} else {
-				choice = e.decider.DecideInPlace(members, int(b.Caps[i]))
+				choice = e.decider.DecideInPlace(members, int(caps[i]))
 			}
 			for _, id := range choice {
-				s.assigned[id]++
+				counts[id]++
 			}
 			assigned += uint64(len(choice))
 			dropped += uint64(len(members) - len(choice))
 			if wantMasks {
-				b.Masks = wire.AppendVerdictMask(b.Masks, s.scratch, choice)
+				masks = wire.AppendVerdictMask(masks, scratch, choice)
 			}
 			if sampled {
 				slog.Record(obs.Record{
 					Element:      base + uint64(i),
-					Verdict:      verdictMask(s.scratch, choice),
+					Verdict:      verdictMask(scratch, choice),
 					TimeUnixNano: time.Now().UnixNano(),
 					Members:      int32(len(members)),
 					Admitted:     int32(len(choice)),
 				})
 			}
 		}
+		s.scratch = scratch
 		if decide != nil {
 			decide.Observe(time.Since(t0))
 		}
 		e.metrics.observeBatch(uint64(n), assigned, dropped)
 		// Detach the callback trio before recycling: Done runs after the
 		// batch is back on the free list, so it must not see the batch.
-		seq, masks, done := b.Seq, b.Masks, b.Done
+		// Aliased batches are not free-listed — the transport slot that
+		// owns the struct (and the buffers it aliases) reuses it after
+		// the verdict frame round-trips.
+		seq, done := b.Seq, b.Done
+		aliased := b.Aliased
 		b.Reset()
-		e.putBatch(b)
+		if !aliased {
+			e.putBatch(b)
+		}
 		if done != nil {
 			done(seq, masks)
 		}
@@ -474,10 +507,15 @@ func (e *Engine) BorrowBatch() *Batch {
 
 // ReturnBatch returns a borrowed batch to the free list unsubmitted —
 // the error path of the wire decode (malformed frame, failed
-// validation).
+// validation). An aliased batch is only detached from its foreign
+// storage, never free-listed: the struct stays with the transport slot
+// that owns it.
 func (e *Engine) ReturnBatch(b *Batch) {
+	aliased := b.Aliased
 	b.Reset()
-	e.putBatch(b)
+	if !aliased {
+		e.putBatch(b)
+	}
 }
 
 // SubmitBatch hands a borrowed, filled batch to the next shard whole,
@@ -517,6 +555,67 @@ func (e *Engine) SubmitBatch(b *Batch) error {
 	}
 	e.shards[e.next].in <- b
 	e.next = (e.next + 1) % len(e.shards)
+	return nil
+}
+
+// Lane is an independent batch submitter: where SubmitBatch shares the
+// engine's single round-robin cursor (and therefore its single-submitter
+// contract), each Lane carries a private cursor seeded at a different
+// shard, so N concurrent transport connections can submit shard-affine
+// in parallel — no shared cursor, no lock, and no two lanes hammering
+// the same shard channel in lockstep. Everything else a submission
+// touches is already concurrency-safe (channel sends, atomic metrics
+// and state).
+//
+// Lanes may run concurrently with each other and with the mutex-held
+// Submit/SubmitBatch paths, but never with Drain: the caller must fence
+// lane submissions against drain (internal/serve does it with an
+// RWMutex — lanes share the read side, Drain takes the write side),
+// because Drain closes the shard channels a lane submits into.
+type Lane struct {
+	e    *Engine
+	next int
+}
+
+// Lane returns a submitter whose round-robin starts at shard
+// i mod NumShards — give each transport connection its own index so
+// concurrent connections fan out across different shards from the
+// first batch.
+func (e *Engine) Lane(i int) *Lane {
+	if i < 0 {
+		i = -i
+	}
+	return &Lane{e: e, next: i % len(e.shards)}
+}
+
+// SubmitBatch is Engine.SubmitBatch on this lane's private cursor. The
+// batch's shape must already be valid (Batch.Validate); ownership
+// passes to the engine whatever the outcome.
+func (l *Lane) SubmitBatch(b *Batch) error {
+	e := l.e
+	st := State(e.state.Load())
+	if st == StateDrained {
+		e.ReturnBatch(b)
+		return ErrDrained
+	}
+	n := b.Len()
+	if n == 0 {
+		e.ReturnBatch(b)
+		return nil
+	}
+	if len(b.Offs) != n+1 || b.Offs[0] != 0 || int(b.Offs[n]) != len(b.Members) {
+		e.ReturnBatch(b)
+		return fmt.Errorf("engine: malformed batch: %d caps, %d offs over %d members", n, len(b.Offs), len(b.Members))
+	}
+	if st == StateIdle {
+		e.state.Store(int32(StateStreaming))
+	}
+	b.base = e.metrics.submitted.Add(uint64(n)) - uint64(n)
+	if e.tel != nil {
+		b.enq = time.Now()
+	}
+	e.shards[l.next].in <- b
+	l.next = (l.next + 1) % len(e.shards)
 	return nil
 }
 

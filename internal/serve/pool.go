@@ -48,6 +48,13 @@ type Instance struct {
 
 	mu  sync.Mutex // serializes Submit/Drain on the engine
 	eng *engine.Engine
+
+	// rw fences lane submissions against Drain: every IngestLane submit
+	// holds the read side, Drain takes the write side (after mu), so
+	// concurrent stream connections ingest in parallel — no shared lock
+	// on the hot path — yet can never race the engine's channel close.
+	// Lock order is mu before rw; lanes never touch mu.
+	rw sync.RWMutex
 }
 
 // ID returns the server-assigned instance identifier.
@@ -129,12 +136,43 @@ func (in *Instance) IngestBatch(b *engine.Batch) error {
 	return in.eng.SubmitBatch(b)
 }
 
+// IngestLane is a per-connection batch submitter: each stream
+// connection gets its own lane (engine.Lane semantics — a private
+// shard round-robin cursor), so N connections ingesting into one
+// instance contend on nothing but the shard queues themselves. The
+// instance's RWMutex read side fences every submit against Drain.
+type IngestLane struct {
+	in   *Instance
+	lane *engine.Lane
+}
+
+// IngestLane returns a lane whose shard round-robin starts at i mod
+// NumShards — hand each connection a distinct index so concurrent
+// connections spread across shards from their first batch.
+func (in *Instance) IngestLane(i int) *IngestLane {
+	return &IngestLane{in: in, lane: in.eng.Lane(i)}
+}
+
+// IngestBatch submits one borrowed (or aliased), filled and validated
+// engine batch on this lane. Ownership of the batch passes to the
+// engine whatever the outcome, exactly as Instance.IngestBatch.
+func (l *IngestLane) IngestBatch(b *engine.Batch) error {
+	l.in.rw.RLock()
+	defer l.in.rw.RUnlock()
+	return l.lane.SubmitBatch(b)
+}
+
 // Drain closes the instance's stream and returns the final result,
 // bit-for-bit identical to a serial HashRandPr run under the same seed.
-// Idempotent.
+// Idempotent. It excludes the mutex-serialized HTTP paths via mu and
+// every stream lane via the write side of rw: a lane submit in flight
+// completes (shard workers keep consuming until the engine closes
+// their queues), then the drain proceeds.
 func (in *Instance) Drain() (*core.Result, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	in.rw.Lock()
+	defer in.rw.Unlock()
 	return in.eng.Drain()
 }
 

@@ -80,6 +80,20 @@ type Config struct {
 	// connection may have in flight. Each slot costs one pooled verdict
 	// buffer per connection. 0 means 32; values above 1024 are clamped.
 	StreamWindow int
+	// StreamCopyDecode forces the stream arm onto the copying batch
+	// decoder (wire.DecodeBatch into engine free-list buffers) instead
+	// of the default zero-copy path that aliases caps/members straight
+	// out of the connection's receive slots. The two decoders are pinned
+	// byte-for-byte equivalent; this switch exists for A/B benchmarking
+	// and as an escape hatch. The copying path also engages on its own
+	// whenever a frame cannot be aliased (foreign byte order).
+	StreamCopyDecode bool
+	// StreamTimings records per-batch decode latency into the
+	// osp_stream_decode histogram. Off by default: the two time.Now
+	// stamps per frame are measurable at stream rates (the other stage
+	// histograms are fed by engine telemetry and HTTP handlers, which
+	// pay per batch or per request, not per pipelined frame).
+	StreamTimings bool
 	// StreamDrainGrace bounds how long Shutdown lets a quiet stream
 	// connection linger: frames read within the grace window are still
 	// answered with real verdicts, then the stream ends with a

@@ -23,14 +23,30 @@ import (
 // to retire the HTTP arm's double decide: stream verdicts are built by
 // the engine shard during its one decide (engine.Batch.Done), not by a
 // second handler-side replica decide. Steady state allocates nothing
-// per element.
+// per element, and the default decode is zero-copy: a batch frame's
+// payload is read off the socket straight into an aligned per-slot
+// buffer and the engine's caps/members views alias those bytes in
+// place (wire.AliasBatch) — no per-element copy between wire and
+// shard. Frames that cannot be aliased (foreign byte order, or
+// Config.StreamCopyDecode) fall back to the copying decoder, pinned
+// byte-for-byte equivalent.
 //
 // Per-connection machinery, after the Hello/Ack handshake:
 //
-//	masksFree  chan []byte, cap = window, pre-filled. A mask buffer IS a
-//	           window slot: the reader acquires one per batch (blocking
-//	           = backpressure on the peer via TCP), the writer returns
-//	           it after the verdict frame is on the wire.
+//	slots      [window]ingestSlot. Slot k%window owns everything batch
+//	           seq k needs — the aligned payload buffer the engine
+//	           aliases, the offsets buffer, the verdict mask buffer,
+//	           and a dedicated aliased engine.Batch struct. The slot
+//	           index is deterministic, so no slot ever serves two
+//	           in-flight batches.
+//	freeTok    chan struct{}, cap = window, pre-filled. Tokens ARE the
+//	           window: the reader takes one per batch (blocking = TCP
+//	           backpressure on the peer), the writer returns it after
+//	           the verdict frame is on the wire. Both sides advance in
+//	           seq order, so holding token k proves seq k−window's
+//	           verdict was written — slot k%window is free, and the
+//	           channel handoff is the happens-before edge that lets
+//	           the reader overwrite memory a shard aliased.
 //	resp       chan respFrame, cap = window+1: at most window verdict
 //	           callbacks (each holds a mask buffer) plus one terminal
 //	           from the reader — so a shard's Done callback NEVER
@@ -40,6 +56,10 @@ import (
 //	           turn; a terminal frame (Error, Fin, or the silent
 //	           dead-peer terminal) carries seq = first-unanswered, so
 //	           it is held until every verdict below it is written.
+//
+// Each connection submits through its own Instance.IngestLane — a
+// private shard round-robin — so concurrent connections feeding one
+// instance contend on nothing but the shard queues themselves.
 //
 // Errors are connection-terminal here, unlike the lenient HTTP arm: a
 // malformed or out-of-sequence frame ends the stream with an Error
@@ -64,9 +84,12 @@ type streamState struct {
 	wg        sync.WaitGroup // one per live connection handler
 }
 
-// streamConn is one accepted stream connection.
+// streamConn is one accepted stream connection. idx is its global
+// accept ordinal, used to seed the connection's ingest lane so
+// simultaneous connections start their shard round-robins apart.
 type streamConn struct {
 	fc       *stream.Conn
+	idx      int
 	draining atomic.Bool
 }
 
@@ -77,6 +100,22 @@ type respFrame struct {
 	typ     byte
 	seq     uint32
 	payload []byte
+}
+
+// ingestSlot is one window slot of a connection's zero-copy ingest
+// ring: the storage batch seq k (slot k%window) flows through without
+// copying. raw holds the frame payload at an alignment wire.AliasBatch
+// can alias (BatchAliasShift picks the landing offset); batch is the
+// slot's dedicated Aliased engine.Batch — the engine detaches it after
+// the decide instead of free-listing it, so the struct and its backing
+// buffers stay with the slot for the next turn. masks capacity round-
+// trips through the verdict callback and the writer stores it back
+// here, possibly grown.
+type ingestSlot struct {
+	raw   []byte
+	offs  []int32
+	masks []byte
+	batch *engine.Batch
 }
 
 // streamStats are the stream transport's lifetime counters, exported
@@ -133,11 +172,11 @@ func (s *Server) handleStreamConn(nc net.Conn) {
 	st := &s.stream
 	defer st.wg.Done()
 	defer nc.Close()
-	s.obs.stream.connsTotal.Add(1)
+	ordinal := s.obs.stream.connsTotal.Add(1)
 	s.obs.stream.connsActive.Add(1)
 	defer s.obs.stream.connsActive.Add(-1)
 
-	sc := &streamConn{fc: stream.NewConn(nc, int(s.cfg.MaxBodyBytes))}
+	sc := &streamConn{fc: stream.NewConn(nc, int(s.cfg.MaxBodyBytes)), idx: int(ordinal)}
 	st.mu.Lock()
 	if st.conns == nil {
 		st.conns = make(map[*streamConn]struct{})
@@ -199,9 +238,13 @@ func (s *Server) serveStreamConn(sc *streamConn) {
 	}
 
 	resp := make(chan respFrame, window+1)
-	masksFree := make(chan []byte, window)
+	slots := make([]ingestSlot, window)
+	for i := range slots {
+		slots[i].batch = new(engine.Batch)
+	}
+	freeTok := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
-		masksFree <- nil
+		freeTok <- struct{}{}
 	}
 	writerDone := make(chan struct{})
 	go func() {
@@ -209,22 +252,27 @@ func (s *Server) serveStreamConn(sc *streamConn) {
 		// A dying writer unblocks a reader parked in ReadFrame; the
 		// reader then sees writerDone and exits instead of terminating.
 		defer fc.SetReadDeadline(time.Unix(1, 0)) //nolint:errcheck
-		s.streamWriteLoop(fc, resp, masksFree, window)
+		s.streamWriteLoop(fc, resp, slots, freeTok)
 	}()
-	s.streamReadLoop(sc, in, resp, masksFree, writerDone)
+	s.streamReadLoop(sc, in, resp, slots, freeTok, writerDone)
 	<-writerDone
 }
 
-// streamReadLoop reads batch frames, decodes each straight into a
-// borrowed engine batch and submits it with the verdict callback set;
-// the engine shard completes the verdict frame during its decide. The
-// loop ends by handing the writer exactly one terminal frame whose seq
-// equals the number of batches submitted — the writer's signal that
-// every verdict below it must go out first.
-func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFrame, masksFree chan []byte, writerDone chan struct{}) {
+// streamReadLoop reads batch frames, lands each payload in its window
+// slot at an aliasable alignment, hands the engine caps/members views
+// over those bytes (zero-copy; the copying decoder when aliasing is
+// off or impossible) and submits on the connection's private lane with
+// the verdict callback set; the engine shard completes the verdict
+// frame during its decide. The loop ends by handing the writer exactly
+// one terminal frame whose seq equals the number of batches submitted
+// — the writer's signal that every verdict below it must go out first.
+func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFrame, slots []ingestSlot, freeTok chan struct{}, writerDone chan struct{}) {
 	fc := sc.fc
 	eng := in.eng
+	lane := in.IngestLane(sc.idx)
 	numSets := in.info.NumSets()
+	copyDecode := s.cfg.StreamCopyDecode
+	timings := s.cfg.StreamTimings
 	next := uint32(0) // seq of the next expected batch = batches submitted
 	terminate := func(typ byte, format string, args ...any) {
 		var msg []byte
@@ -244,7 +292,7 @@ func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFram
 		resp <- respFrame{stream.FrameVerdicts, seq, masks}
 	}
 	for {
-		typ, seq, payload, err := fc.ReadFrame()
+		typ, seq, n, err := fc.ReadHeader()
 		if err != nil {
 			if sc.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded) {
 				terminate(stream.FrameError, "stream: server shutting down (%d batches answered)", next)
@@ -256,46 +304,84 @@ func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFram
 		switch typ {
 		case stream.FrameBatch:
 			if seq != next {
+				// The payload is left unread; terminal either way.
 				terminate(stream.FrameError, "stream: batch seq %d, want %d", seq, next)
 				return
 			}
+			// Taking the token takes the window slot; blocking here (peer
+			// overran the window) is backpressure via TCP.
+			select {
+			case <-freeTok:
+			case <-writerDone:
+				return
+			}
+			var decodeStart time.Time
+			if timings {
+				decodeStart = time.Now()
+			}
+			slot := &slots[int(seq)%len(slots)]
+			// Land the payload so its caps/members sections are 4-aligned:
+			// +3 spare bytes cover any landing shift.
+			if cap(slot.raw) < n+3 {
+				slot.raw = make([]byte, n+3)
+			}
+			raw := slot.raw[:cap(slot.raw)]
+			pad := wire.BatchAliasShift(raw)
+			payload := raw[pad : pad+n]
+			if err := fc.ReadPayloadInto(payload); err != nil {
+				terminate(0, "")
+				return
+			}
 			// Enforce the batch cap from the frame header BEFORE decoding,
-			// for the same reason the HTTP arm does: the decode fills
-			// engine free-list buffers that live as long as the instance.
+			// for the same reason the HTTP arm does: the copying decode
+			// fills engine free-list buffers that live as long as the
+			// instance.
 			if c, ok := wire.PeekBatchCount(payload); ok && c > s.cfg.MaxBatch {
 				terminate(stream.FrameError, "ingest: batch of %d exceeds limit %d", c, s.cfg.MaxBatch)
 				return
 			}
-			decodeStart := time.Now()
-			// Acquiring the mask buffer acquires the window slot; blocking
-			// here (peer overran the window) is backpressure via TCP.
-			var masks []byte
-			select {
-			case masks = <-masksFree:
-			case <-writerDone:
-				return
+			var b *engine.Batch
+			if !copyDecode {
+				members, offs, caps, ok, aerr := wire.AliasBatch(payload, slot.offs[:0])
+				if aerr != nil {
+					terminate(stream.FrameError, "ingest: %v", aerr)
+					return
+				}
+				if ok {
+					slot.offs = offs
+					b = slot.batch
+					b.Members, b.Offs, b.Caps, b.Aliased = members, offs, caps, true
+				}
 			}
-			b := eng.BorrowBatch()
-			b.Members, b.Offs, b.Caps, err = wire.DecodeBatch(payload, b.Members[:0], b.Offs[:0], b.Caps[:0])
-			if err != nil {
-				eng.ReturnBatch(b)
-				terminate(stream.FrameError, "ingest: %v", err)
-				return
+			if b == nil {
+				// Copying fallback: alias off, or the frame cannot be
+				// aliased on this platform.
+				b = eng.BorrowBatch()
+				b.Members, b.Offs, b.Caps, err = wire.DecodeBatch(payload, b.Members[:0], b.Offs[:0], b.Caps[:0])
+				if err != nil {
+					eng.ReturnBatch(b)
+					terminate(stream.FrameError, "ingest: %v", err)
+					return
+				}
 			}
 			// Atomicity, as both HTTP arms: the whole batch is validated
 			// against the instance's universe before any element is
-			// submitted.
+			// submitted. For aliased batches this is also where values
+			// past MaxInt32 — negative through the int32 view — are
+			// rejected, which is what lets AliasBatch skip that scan.
 			if err := b.Validate(numSets); err != nil {
 				eng.ReturnBatch(b)
 				terminate(stream.FrameError, "ingest: %v", err)
 				return
 			}
-			s.obs.streamDecode.Observe(time.Since(decodeStart))
+			if timings {
+				s.obs.streamDecode.Observe(time.Since(decodeStart))
+			}
 			b.Seq = seq
-			b.Masks = wire.AppendVerdictsHeader(masks[:0], b.Len())
+			b.Masks = wire.AppendVerdictsHeader(slot.masks[:0], b.Len())
 			b.Done = done
-			if err := in.IngestBatch(b); err != nil {
-				// The engine recycled the batch (Reset detached the
+			if err := lane.IngestBatch(b); err != nil {
+				// The engine detached the batch (Reset dropped the
 				// callback), so no verdict for this seq is coming: next
 				// still counts only submitted batches.
 				if errors.Is(err, engine.ErrDrained) {
@@ -308,6 +394,10 @@ func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFram
 			next++
 			s.obs.stream.batches.Add(1)
 		case stream.FrameFin:
+			if _, err := fc.ReadPayload(n); err != nil {
+				terminate(0, "")
+				return
+			}
 			if seq != next {
 				terminate(stream.FrameError, "stream: fin declares %d batches, %d submitted", seq, next)
 				return
@@ -315,6 +405,10 @@ func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFram
 			terminate(stream.FrameFin, "")
 			return
 		case stream.FrameError:
+			if _, err := fc.ReadPayload(n); err != nil {
+				terminate(0, "")
+				return
+			}
 			s.obs.stream.errors.Add(1)
 			terminate(0, "") // client aborted: flush what it is owed, close
 			return
@@ -327,10 +421,13 @@ func (s *Server) streamReadLoop(sc *streamConn, in *Instance, resp chan respFram
 
 // streamWriteLoop is the connection's single writer: it restores batch
 // order over shard-completion order with a ring of pending verdict
-// frames, returns each mask buffer (= window slot) to masksFree once
-// its frame is on the wire, flushes whenever the completion channel
-// goes momentarily quiet, and exits after the terminal frame.
-func (s *Server) streamWriteLoop(fc *stream.Conn, resp chan respFrame, masksFree chan []byte, window int) {
+// frames, stores each (possibly grown) mask buffer back into its slot
+// and releases the window token once the frame is on the wire, flushes
+// whenever the completion channel goes momentarily quiet, and exits
+// after the terminal frame. Writing strictly in seq order is what
+// makes the token release a proof that the seq's slot is reusable.
+func (s *Server) streamWriteLoop(fc *stream.Conn, resp chan respFrame, slots []ingestSlot, freeTok chan struct{}) {
+	window := len(slots)
 	ring := make([]respFrame, window+1)
 	present := make([]bool, window+1)
 	next := uint32(0) // seq of the next verdict frame to write
@@ -376,7 +473,8 @@ func (s *Server) streamWriteLoop(fc *stream.Conn, resp chan respFrame, masksFree
 				return
 			}
 			flushed = false
-			masksFree <- g.payload // never blocks: at most window buffers exist
+			slots[int(g.seq)%window].masks = g.payload
+			freeTok <- struct{}{} // never blocks: at most window tokens exist
 			next++
 		}
 	}

@@ -448,6 +448,84 @@ func TestStreamShutdownAnswersInFlight(t *testing.T) {
 	}
 }
 
+// TestStreamCopyDecodeMatchesZeroCopy is the decode-path equivalence
+// pin: the same frames sent to a default (zero-copy aliasing) server
+// and to one forced onto the copying decoder via Config.StreamCopyDecode
+// produce byte-for-byte identical verdict frames, and both drain to the
+// serial oracle's result. StreamTimings is exercised on the copying
+// server to cover the stamped variant of the read loop.
+func TestStreamCopyDecodeMatchesZeroCopy(t *testing.T) {
+	const seed = 43
+	inst := uniformInst(t, 70, 4000, 6, 2)
+	zc := New(Config{})
+	defer zc.Shutdown(t.Context())
+	cp := New(Config{StreamCopyDecode: true, StreamTimings: true})
+	defer cp.Shutdown(t.Context())
+	zcAddr := startStreamListener(t, zc)
+	cpAddr := startStreamListener(t, cp)
+	zcID := register(t, zc, inst, seed)
+	cpID := register(t, cp, inst, seed)
+
+	zcStream := dialStream(t, zcAddr, zcID)
+	cpStream := dialStream(t, cpAddr, cpID)
+
+	readVerdicts := func(ts *testStream) []byte {
+		t.Helper()
+		typ, seq, payload, err := ts.fc.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != stream.FrameVerdicts || seq != ts.recvd {
+			t.Fatalf("got frame (%c, %d), want verdicts seq %d: %s", typ, seq, ts.recvd, payload)
+		}
+		ts.recvd++
+		return append([]byte(nil), payload...)
+	}
+
+	// Odd batch sizes hit every mask-padding alignment; 1-element batches
+	// hit the smallest aliasable frames.
+	sizes := []int{1, 2, 9, 64, 255, 501}
+	for off, k := 0, 0; off < len(inst.Elements); k++ {
+		end := min(off+sizes[k%len(sizes)], len(inst.Elements))
+		els := inst.Elements[off:end]
+		zcStream.send(els)
+		cpStream.send(els)
+		zcV := readVerdicts(zcStream)
+		cpV := readVerdicts(cpStream)
+		if !bytes.Equal(zcV, cpV) {
+			t.Fatalf("batch %d: zero-copy verdict frame differs from copy-decode frame (%d vs %d bytes)", k, len(zcV), len(cpV))
+		}
+		off = end
+	}
+	zcStream.fin()
+	cpStream.fin()
+
+	oracle, err := core.Run(inst, &core.HashRandPr{Hasher: hashpr.Mixer{Seed: seed}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sv := range []struct {
+		s  *Server
+		id string
+	}{{zc, zcID}, {cp, cpID}} {
+		var dr DrainResponse
+		if rec := do(t, sv.s, "POST", "/v1/instances/"+sv.id+"/drain", nil, &dr); rec.Code != http.StatusOK {
+			t.Fatalf("drain: status %d: %s", rec.Code, rec.Body.String())
+		}
+		if !dr.Result.Core().Equal(oracle) {
+			t.Fatal("drained result differs from serial oracle")
+		}
+	}
+	// The timings-enabled server populated the stream decode histogram;
+	// the default server skipped the stamps entirely.
+	if n := cp.obs.streamDecode.Snapshot().Count; n == 0 {
+		t.Error("StreamTimings server recorded no stream decode observations")
+	}
+	if n := zc.obs.streamDecode.Snapshot().Count; n != 0 {
+		t.Errorf("default server recorded %d stream decode observations, want 0 (timings off)", n)
+	}
+}
+
 // TestStreamSteadyStateAllocs is the stream arm's alloc-regression
 // gate: once the per-connection buffers, engine batches and verdict
 // masks are warm, a full batch round trip over the real TCP loopback —

@@ -105,32 +105,68 @@ func NewConn(nc net.Conn, maxPayload int) *Conn {
 // aliases the connection's reusable buffer: it is valid until the next
 // ReadFrame and must not be retained.
 func (c *Conn) ReadFrame() (typ byte, seq uint32, payload []byte, err error) {
-	if _, err := io.ReadFull(c.br, c.rhdr[:]); err != nil {
+	typ, seq, n, err := c.ReadHeader()
+	if err != nil {
 		return 0, 0, nil, err
+	}
+	payload, err = c.ReadPayload(n)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return typ, seq, payload, nil
+}
+
+// ReadHeader reads and validates the next envelope header only,
+// returning the declared payload length without reading it. The caller
+// must consume exactly n payload bytes next — ReadPayload for the
+// connection's shared buffer, or ReadPayloadInto to place the bytes
+// into caller-owned memory (the zero-copy ingest path, which reads
+// batch payloads straight into aligned engine-batch backing buffers).
+func (c *Conn) ReadHeader() (typ byte, seq uint32, n int, err error) {
+	if _, err := io.ReadFull(c.br, c.rhdr[:]); err != nil {
+		return 0, 0, 0, err
 	}
 	typ = c.rhdr[0]
 	switch typ {
 	case FrameHello, FrameAck, FrameBatch, FrameVerdicts, FrameError, FrameFin:
 	default:
-		return 0, 0, nil, fmt.Errorf("%w: unknown frame type 0x%02x", ErrFrame, typ)
+		return 0, 0, 0, fmt.Errorf("%w: unknown frame type 0x%02x", ErrFrame, typ)
 	}
 	seq = binary.LittleEndian.Uint32(c.rhdr[1:])
-	n := binary.LittleEndian.Uint32(c.rhdr[5:])
-	if uint64(n) > uint64(c.max) {
-		return 0, 0, nil, fmt.Errorf("%w: %d bytes declared, limit %d", ErrTooLarge, n, c.max)
+	ln := binary.LittleEndian.Uint32(c.rhdr[5:])
+	if uint64(ln) > uint64(c.max) {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes declared, limit %d", ErrTooLarge, ln, c.max)
 	}
-	if cap(c.payload) < int(n) {
+	return typ, seq, int(ln), nil
+}
+
+// ReadPayload reads an n-byte payload announced by ReadHeader into the
+// connection's reusable buffer. The returned slice is valid until the
+// next read and must not be retained.
+func (c *Conn) ReadPayload(n int) ([]byte, error) {
+	if cap(c.payload) < n {
 		c.payload = make([]byte, n)
 	}
-	payload = c.payload[:n]
-	if _, err := io.ReadFull(c.br, payload); err != nil {
+	payload := c.payload[:n]
+	if err := c.ReadPayloadInto(payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadPayloadInto reads len(buf) payload bytes announced by ReadHeader
+// directly into buf — the caller owns placement, which is what lets a
+// reader land a batch frame at an alignment the zero-copy decoder can
+// alias.
+func (c *Conn) ReadPayloadInto(buf []byte) error {
+	if _, err := io.ReadFull(c.br, buf); err != nil {
 		// A truncated payload is a protocol error, not a clean EOF.
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return 0, 0, nil, err
+		return err
 	}
-	return typ, seq, payload, nil
+	return nil
 }
 
 // WriteFrame appends one envelope + payload to the write buffer. Call

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/setsystem"
+	"repro/internal/workload"
+)
+
+// alignedCopy returns a copy of frame positioned so its caps/members
+// sections are 4-byte aligned (the reader-side contract BatchAliasShift
+// implements), plus a second copy shifted off that alignment.
+func alignedCopy(frame []byte) (aligned, misaligned []byte) {
+	buf := make([]byte, len(frame)+4)
+	shift := BatchAliasShift(buf)
+	aligned = buf[shift : shift+len(frame)]
+	copy(aligned, frame)
+	buf2 := make([]byte, len(frame)+4)
+	bad := (BatchAliasShift(buf2) + 1) % 4
+	misaligned = buf2[bad : bad+len(frame)]
+	copy(misaligned, frame)
+	return aligned, misaligned
+}
+
+// TestAliasBatchEquivalence pins the zero-copy contract: for any frame
+// the copying decoder accepts, AliasBatch over an aligned view of the
+// same bytes produces the identical members/offs/caps triple.
+func TestAliasBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst, err := workload.Uniform(workload.UniformConfig{M: 300, N: 400, Load: 9, MinLoad: 1, Capacity: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, els := range [][]setsystem.Element{
+		inst.Elements,
+		inst.Elements[:1],
+		{{Members: []setsystem.SetID{0}, Capacity: 1}},
+	} {
+		frame := AppendElements(nil, els)
+		wantMembers, wantOffs, wantCaps, derr := DecodeBatch(frame, nil, nil, nil)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		aligned, misaligned := alignedCopy(frame)
+
+		members, offs, caps, ok, err := AliasBatch(aligned, nil)
+		if err != nil {
+			t.Fatalf("AliasBatch(aligned): %v", err)
+		}
+		if !ok {
+			t.Fatal("AliasBatch refused an aligned little-endian frame")
+		}
+		if len(members) != len(wantMembers) || len(offs) != len(wantOffs) || len(caps) != len(wantCaps) {
+			t.Fatalf("aliased shape %d/%d/%d, want %d/%d/%d",
+				len(members), len(offs), len(caps), len(wantMembers), len(wantOffs), len(wantCaps))
+		}
+		for i := range wantMembers {
+			if members[i] != wantMembers[i] {
+				t.Fatalf("member %d = %d, want %d", i, members[i], wantMembers[i])
+			}
+		}
+		for i := range wantOffs {
+			if offs[i] != wantOffs[i] {
+				t.Fatalf("off %d = %d, want %d", i, offs[i], wantOffs[i])
+			}
+		}
+		for i := range wantCaps {
+			if caps[i] != wantCaps[i] {
+				t.Fatalf("cap %d = %d, want %d", i, caps[i], wantCaps[i])
+			}
+		}
+
+		// The misaligned view must fall back cleanly, never misdecode.
+		if _, _, _, ok, err := AliasBatch(misaligned, nil); err != nil {
+			t.Fatalf("AliasBatch(misaligned): %v", err)
+		} else if ok {
+			t.Fatal("AliasBatch aliased a misaligned frame")
+		}
+	}
+}
+
+// TestAliasBatchAliases proves the decode really is zero-copy: mutating
+// the frame bytes after AliasBatch must show through the returned
+// slices.
+func TestAliasBatchAliases(t *testing.T) {
+	els := []setsystem.Element{{Members: []setsystem.SetID{2, 5}, Capacity: 1}}
+	frame := AppendElements(nil, els)
+	aligned, _ := alignedCopy(frame)
+	members, _, caps, ok, err := AliasBatch(aligned, nil)
+	if err != nil || !ok {
+		t.Fatalf("AliasBatch: ok=%v err=%v", ok, err)
+	}
+	aligned[batchHeaderLen] = 9 // caps[0] low byte
+	if caps[0] != 9 {
+		t.Fatalf("caps[0] = %d after mutating the frame, want 9 (not aliased?)", caps[0])
+	}
+	aligned[len(aligned)-4] = 7 // members[1] low byte
+	if members[1] != 7 {
+		t.Fatalf("members[1] = %d after mutating the frame, want 7 (not aliased?)", members[1])
+	}
+}
+
+// TestAliasBatchRejects mirrors DecodeBatch's structural rejection
+// matrix on the aliasing path.
+func TestAliasBatchRejects(t *testing.T) {
+	els := []setsystem.Element{
+		{Members: []setsystem.SetID{1, 3}, Capacity: 2},
+		{Members: []setsystem.SetID{0}, Capacity: 1},
+	}
+	frame := AppendElements(nil, els)
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated header", func(f []byte) []byte { return f[:8] }, ErrFrame},
+		{"bad magic", func(f []byte) []byte { f[0] = 'X'; return f }, ErrFrame},
+		{"bad version", func(f []byte) []byte { f[4] = 99; return f }, ErrVersion},
+		{"empty batch", func(f []byte) []byte { f[5], f[6], f[7], f[8] = 0, 0, 0, 0; return f }, ErrFrame},
+		{"short payload", func(f []byte) []byte { return f[:len(f)-1] }, ErrFrame},
+		{"long payload", func(f []byte) []byte { return append(f, 0) }, ErrFrame},
+		{"lens overflow declared", func(f []byte) []byte { f[batchHeaderLen+8] = 200; return f }, ErrFrame},
+		{"lens under declared", func(f []byte) []byte { f[batchHeaderLen+8] = 0; return f }, ErrFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.mutate(append([]byte(nil), frame...))
+			aligned, _ := alignedCopy(f)
+			_, _, _, ok, err := AliasBatch(aligned, nil)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if ok {
+				t.Fatal("ok = true for a malformed frame")
+			}
+		})
+	}
+}
+
+// TestAliasBatchOffsReuse pins storage reuse: a second decode into the
+// same offs slice must not grow it.
+func TestAliasBatchOffsReuse(t *testing.T) {
+	els := []setsystem.Element{
+		{Members: []setsystem.SetID{1, 3}, Capacity: 2},
+		{Members: []setsystem.SetID{0, 2, 4}, Capacity: 1},
+	}
+	frame := AppendElements(nil, els)
+	aligned, _ := alignedCopy(frame)
+	_, offs, _, ok, err := AliasBatch(aligned, nil)
+	if err != nil || !ok {
+		t.Fatalf("AliasBatch: ok=%v err=%v", ok, err)
+	}
+	before := cap(offs)
+	_, offs2, _, ok, err := AliasBatch(aligned, offs[:0])
+	if err != nil || !ok {
+		t.Fatalf("AliasBatch (reuse): ok=%v err=%v", ok, err)
+	}
+	if cap(offs2) != before {
+		t.Fatalf("offs grew from %d to %d across reuse", before, cap(offs2))
+	}
+}

@@ -137,9 +137,7 @@ func AppendElements(dst []byte, els []setsystem.Element) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(el.Members)))
 	}
 	for _, el := range els {
-		for _, s := range el.Members {
-			dst = binary.LittleEndian.AppendUint32(dst, uint32(s))
-		}
+		dst = appendSetIDsLE(dst, el.Members)
 	}
 	return dst
 }
@@ -241,23 +239,34 @@ func AppendVerdictsHeader(dst []byte, count int) []byte {
 // AppendVerdictMask appends one element's byte-aligned admitted bitmask:
 // bit j (LSB first) is set iff members[j] is in admitted. Both slices
 // must be in ascending SetID order — members as the element arrived,
-// admitted as every PolicyState returns it — so a single merge pass
-// suffices.
+// admitted as every PolicyState returns it. The mask bytes are
+// zero-extended in one step and only the admitted bits are set, so the
+// cost scales with admissions (bounded by capacity b(u)) plus the
+// cursor's advance through members — not with a per-member
+// accumulator loop. An admitted ID absent from members sets no bit and
+// stops the walk; the round trip through AppendAdmitted surfaces the
+// mismatch.
 func AppendVerdictMask(dst []byte, members, admitted []setsystem.SetID) []byte {
-	var acc byte
-	bit, j := 0, 0
-	for _, s := range members {
-		if j < len(admitted) && admitted[j] == s {
-			acc |= 1 << bit
+	base, ml := len(dst), (len(members)+7)>>3
+	if ml <= 4 {
+		// The common small-degree case: a few byte appends beat the
+		// runtime memclr call append(dst, make(...)...) compiles to.
+		for k := 0; k < ml; k++ {
+			dst = append(dst, 0)
+		}
+	} else {
+		dst = append(dst, make([]byte, ml)...)
+	}
+	j := 0
+	for _, a := range admitted {
+		for j < len(members) && members[j] != a {
 			j++
 		}
-		if bit++; bit == 8 {
-			dst = append(dst, acc)
-			acc, bit = 0, 0
+		if j == len(members) {
+			break
 		}
-	}
-	if bit > 0 {
-		dst = append(dst, acc)
+		dst[base+(j>>3)] |= 1 << (j & 7)
+		j++
 	}
 	return dst
 }

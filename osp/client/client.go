@@ -68,10 +68,11 @@ func (c Codec) String() string {
 // Client talks to one admission server. Safe for concurrent use (the
 // underlying http.Client is).
 type Client struct {
-	base       string
-	hc         *http.Client
-	codec      Codec
-	streamAddr string // host:port of the raw-TCP stream listener, "" = none
+	base        string
+	hc          *http.Client
+	codec       Codec
+	streamAddr  string // host:port of the raw-TCP stream listener, "" = none
+	streamConns int    // TCP connections per verdict stream, 0/1 = one
 }
 
 // Option customizes a Client.

@@ -38,95 +38,163 @@ func WithStreamAddr(addr string) Option {
 	return func(c *Client) { c.streamAddr = addr }
 }
 
-// Stream is one pipelined verdict stream over a dedicated connection,
-// opened with Instance.OpenStream. Up to Window batches may be in
+// WithStreamConns stripes each verdict stream over n TCP connections
+// (default 1). Batches are distributed round-robin — batch k rides
+// connection k mod n with its own per-connection sequence numbers —
+// and Recv restores global submit order, so the caller-visible
+// contract is unchanged: verdict callbacks fire in the exact order the
+// batches were sent. What changes is the parallelism underneath: each
+// connection has its own server-side read loop, ingest lane and
+// pipeline window (the effective window is n × the server's per-
+// connection grant), so one producer can keep several engine shards
+// busy at once. Values below 1 mean 1.
+func WithStreamConns(n int) Option {
+	return func(c *Client) { c.streamConns = n }
+}
+
+// Stream is one pipelined verdict stream, opened with
+// Instance.OpenStream — one TCP connection by default, striped over N
+// connections with WithStreamConns. Up to Window batches may be in
 // flight: Send errors with ErrWindowFull when the window is exhausted,
 // so a producer runs the classic pipeline dance — Send until full,
 // then alternate Recv/Send, then drain with CloseSend + Recv-to-EOF.
 // The elements passed to Send must stay unmodified until their Recv:
 // verdict masks are decoded against them.
 //
+// Striping is invisible in the contract: batch k rides connection
+// k mod N under per-connection sequence numbers, and Recv reads
+// connection k mod N when global batch k is the oldest unanswered —
+// each connection delivers its verdicts in its own send order (TCP
+// FIFO through the server's seq-ordered writer), so this single read
+// position restores exact global submit order with no reorder buffer.
+//
 // A Stream is not safe for concurrent use. Errors other than
 // ErrWindowFull are terminal for the stream; Close the stream and open
 // a fresh one.
 type Stream struct {
 	in     *Instance
-	fc     *stream.Conn
-	window int
+	conns  []*stream.Conn
+	window int // global: per-connection server grant × len(conns)
 	policy string
 
 	pending  [][]osp.Element // ring of unanswered batches, len = window
 	head     int             // ring index of the oldest unanswered batch
 	count    int             // unanswered batches
-	sendSeq  uint32          // next batch sequence number = batches sent
-	recvSeq  uint32          // next verdict sequence number expected
+	sendSeq  uint32          // next global batch sequence = batches sent
+	recvSeq  uint32          // next global verdict sequence expected
 	finSent  bool
+	finsRecv int         // server fin confirmations collected after CloseSend
+	connEls  []uint64    // elements sent per connection
 	admitted []osp.SetID // reused callback scratch
 	err      error       // sticky terminal error
 	closed   atomic.Bool
 }
 
-// OpenStream dials the server's stream listener (WithStreamAddr) and
-// runs the handshake for this instance. The returned Stream pins
-// Instance.Codec to "stream" until it is closed.
-func (in *Instance) OpenStream(ctx context.Context) (*Stream, error) {
-	addr := in.c.streamAddr
-	if addr == "" {
-		return nil, errors.New("client: no stream address configured (WithStreamAddr)")
-	}
+// dialStreamConn dials one stream connection and runs the handshake,
+// returning the framed connection with the server's window grant and
+// resolved policy name.
+func dialStreamConn(ctx context.Context, addr, id string) (*stream.Conn, uint32, string, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial stream %s: %w", addr, err)
+		return nil, 0, "", fmt.Errorf("client: dial stream %s: %w", addr, err)
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		nc.SetDeadline(dl) //nolint:errcheck // handshake-scoped, cleared below
 	}
 	fc := stream.NewConn(nc, 0)
-	if err := fc.WriteFrame(stream.FrameHello, 0, stream.AppendHello(nil, in.id)); err != nil {
+	if err := fc.WriteFrame(stream.FrameHello, 0, stream.AppendHello(nil, id)); err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: stream hello: %w", err)
+		return nil, 0, "", fmt.Errorf("client: stream hello: %w", err)
 	}
 	if err := fc.Flush(); err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: stream hello: %w", err)
+		return nil, 0, "", fmt.Errorf("client: stream hello: %w", err)
 	}
 	typ, _, payload, err := fc.ReadFrame()
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: stream handshake: %w", err)
+		return nil, 0, "", fmt.Errorf("client: stream handshake: %w", err)
 	}
 	if typ == stream.FrameError {
 		msg := string(payload)
 		nc.Close()
-		return nil, &APIError{StatusCode: http.StatusBadRequest, Message: msg}
+		return nil, 0, "", &APIError{StatusCode: http.StatusBadRequest, Message: msg}
 	}
 	if typ != stream.FrameAck {
 		nc.Close()
-		return nil, fmt.Errorf("client: stream handshake answered with frame %c, want ack", typ)
+		return nil, 0, "", fmt.Errorf("client: stream handshake answered with frame %c, want ack", typ)
 	}
 	window, policy, err := stream.ParseAck(payload)
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: stream handshake: %w", err)
+		return nil, 0, "", fmt.Errorf("client: stream handshake: %w", err)
 	}
 	nc.SetDeadline(time.Time{}) //nolint:errcheck
+	return fc, window, policy, nil
+}
+
+// OpenStream dials the server's stream listener (WithStreamAddr) — one
+// connection, or WithStreamConns of them — and runs the handshake for
+// this instance on each. The returned Stream pins Instance.Codec to
+// "stream" until it is closed.
+func (in *Instance) OpenStream(ctx context.Context) (*Stream, error) {
+	addr := in.c.streamAddr
+	if addr == "" {
+		return nil, errors.New("client: no stream address configured (WithStreamAddr)")
+	}
+	n := in.c.streamConns
+	if n < 1 {
+		n = 1
+	}
+	conns := make([]*stream.Conn, 0, n)
+	window := uint32(0)
+	policy := ""
+	for i := 0; i < n; i++ {
+		fc, w, pol, err := dialStreamConn(ctx, addr, in.id)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, fc)
+		// The grants should agree (one server config); hold every
+		// connection to the smallest so no single pipe is overrun.
+		if window == 0 || w < window {
+			window = w
+		}
+		policy = pol
+	}
 	in.streams.Add(1)
 	return &Stream{
 		in:      in,
-		fc:      fc,
-		window:  int(window),
+		conns:   conns,
+		window:  int(window) * n,
 		policy:  policy,
-		pending: make([][]osp.Element, window),
+		pending: make([][]osp.Element, int(window)*n),
+		connEls: make([]uint64, n),
 	}, nil
 }
 
-// Window returns the server-granted pipelining window: the maximum
-// number of unanswered batches this stream may have in flight.
+// Window returns the pipelining window: the maximum number of
+// unanswered batches this stream may have in flight — the server's
+// per-connection grant times the number of striped connections.
 func (s *Stream) Window() int { return s.window }
 
 // Outstanding returns the number of batches sent but not yet answered.
 func (s *Stream) Outstanding() int { return s.count }
+
+// Conns returns the number of TCP connections this stream stripes
+// over (WithStreamConns; 1 by default).
+func (s *Stream) Conns() int { return len(s.conns) }
+
+// ConnElements returns the number of elements sent over each striped
+// connection so far — the per-connection balance a load generator
+// reports to show the stripes actually carried traffic.
+func (s *Stream) ConnElements() []uint64 {
+	return append([]uint64(nil), s.connEls...)
+}
 
 // Policy returns the instance's resolved admission-policy name as
 // announced by the server's stream handshake.
@@ -150,9 +218,15 @@ func (s *Stream) Send(els []osp.Element) error {
 	bufp := framePool.Get().(*[]byte)
 	frame := wire.AppendElements((*bufp)[:0], els)
 	*bufp = frame
-	err := s.fc.WriteFrame(stream.FrameBatch, s.sendSeq, frame)
+	// Batch k rides connection k mod N with that connection's own
+	// sequence numbering (k div N): each stripe is a self-contained
+	// stream to the server.
+	n := uint32(len(s.conns))
+	ci := int(s.sendSeq % n)
+	fc := s.conns[ci]
+	err := fc.WriteFrame(stream.FrameBatch, s.sendSeq/n, frame)
 	if err == nil {
-		err = s.fc.Flush()
+		err = fc.Flush()
 	}
 	framePool.Put(bufp)
 	if err != nil {
@@ -160,6 +234,7 @@ func (s *Stream) Send(els []osp.Element) error {
 		return s.err
 	}
 	s.pending[(s.head+s.count)%s.window] = els
+	s.connEls[ci] += uint64(len(els))
 	s.count++
 	s.sendSeq++
 	return nil
@@ -175,7 +250,32 @@ func (s *Stream) Recv(fn func(i int, admitted []osp.SetID)) error {
 	if s.err != nil {
 		return s.err
 	}
-	typ, seq, payload, err := s.fc.ReadFrame()
+	n := uint32(len(s.conns))
+	if s.finSent && s.count == 0 {
+		// Every batch is answered: collect each connection's fin
+		// confirmation (the next frame on each stripe), then EOF.
+		for ; s.finsRecv < len(s.conns); s.finsRecv++ {
+			typ, _, payload, err := s.conns[s.finsRecv].ReadFrame()
+			switch {
+			case err != nil:
+				s.err = fmt.Errorf("client: stream recv: %w", err)
+				return s.err
+			case typ == stream.FrameError:
+				s.err = &APIError{StatusCode: http.StatusBadRequest, Message: string(payload)}
+				return s.err
+			case typ != stream.FrameFin:
+				s.err = fmt.Errorf("client: unexpected stream frame %c, want fin", typ)
+				return s.err
+			}
+		}
+		s.err = io.EOF
+		return io.EOF
+	}
+	// Global batch recvSeq rides connection recvSeq mod N, and that
+	// connection's frames arrive in its own send order — so reading
+	// here, and only here, restores global submit order.
+	fc := s.conns[int(s.recvSeq%n)]
+	typ, seq, payload, err := fc.ReadFrame()
 	if err != nil {
 		s.err = fmt.Errorf("client: stream recv: %w", err)
 		return s.err
@@ -186,8 +286,8 @@ func (s *Stream) Recv(fn func(i int, admitted []osp.SetID)) error {
 			s.err = fmt.Errorf("client: verdict frame %d with no batch in flight", seq)
 			return s.err
 		}
-		if seq != s.recvSeq {
-			s.err = fmt.Errorf("client: verdict frame %d, want %d", seq, s.recvSeq)
+		if seq != s.recvSeq/n {
+			s.err = fmt.Errorf("client: verdict frame %d, want %d", seq, s.recvSeq/n)
 			return s.err
 		}
 		els := s.pending[s.head]
@@ -256,13 +356,19 @@ func (s *Stream) CloseSend() error {
 		return nil
 	}
 	s.finSent = true
-	if err := s.fc.WriteFrame(stream.FrameFin, s.sendSeq, nil); err != nil {
-		s.err = fmt.Errorf("client: stream close-send: %w", err)
-		return s.err
-	}
-	if err := s.fc.Flush(); err != nil {
-		s.err = fmt.Errorf("client: stream close-send: %w", err)
-		return s.err
+	// Each stripe gets its own fin carrying the count of batches that
+	// rode it: connection c saw batches c, c+N, c+2N, … below sendSeq.
+	n := uint32(len(s.conns))
+	for c, fc := range s.conns {
+		sent := (s.sendSeq + n - 1 - uint32(c)) / n
+		if err := fc.WriteFrame(stream.FrameFin, sent, nil); err != nil {
+			s.err = fmt.Errorf("client: stream close-send: %w", err)
+			return s.err
+		}
+		if err := fc.Flush(); err != nil {
+			s.err = fmt.Errorf("client: stream close-send: %w", err)
+			return s.err
+		}
 	}
 	return nil
 }
@@ -273,7 +379,13 @@ func (s *Stream) CloseSend() error {
 func (s *Stream) Close() error {
 	if s.closed.CompareAndSwap(false, true) {
 		s.in.streams.Add(-1)
-		return s.fc.Close()
+		var first error
+		for _, fc := range s.conns {
+			if err := fc.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
 	}
 	return nil
 }

@@ -184,6 +184,109 @@ func TestStreamWindowBackpressure(t *testing.T) {
 	}
 }
 
+// TestStreamMultiConnOrderingMatchesHTTP pins the striping contract:
+// with N connections, batches stripe round-robin but Recv still fires
+// verdict callbacks in exact submit order, bit-for-bit equal to HTTP
+// Ingest on a twin instance, and the batch count deliberately not a
+// multiple of N exercises the per-stripe fin accounting. Also checks
+// the stripe balance ConnElements reports.
+func TestStreamMultiConnOrderingMatchesHTTP(t *testing.T) {
+	for _, conns := range []int{2, 4} {
+		t.Run(fmt.Sprintf("conns=%d", conns), func(t *testing.T) {
+			ctx := context.Background()
+			c, _ := startStreamServer(t, client.WithStreamConns(conns))
+			const seed = 97
+			inst := uniform(t, 40, 1100, 4, 7)
+			httpH := registerTwin(t, c, inst, seed)
+			streamH := registerTwin(t, c, inst, seed)
+
+			st, err := streamH.OpenStream(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			if st.Conns() != conns {
+				t.Fatalf("Conns() = %d, want %d", st.Conns(), conns)
+			}
+			if st.Window()%conns != 0 || st.Window() < conns {
+				t.Fatalf("window = %d, want a positive multiple of %d", st.Window(), conns)
+			}
+
+			// Odd batch size so 1100 elements yield a batch count that
+			// is not a multiple of 2 or 4 (15 batches of ≤75).
+			const batch = 75
+			var offs []int
+			collect := func() {
+				t.Helper()
+				off := offs[0]
+				offs = offs[1:]
+				els := inst.Elements[off:min(off+batch, len(inst.Elements))]
+				want, err := httpH.Ingest(ctx, els)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Recv(func(i int, admitted []osp.SetID) {
+					if fmt.Sprint(admitted) != fmt.Sprint(want[i].Admitted) {
+						t.Fatalf("element %d: stream admitted %v, http %v", off+i, admitted, want[i].Admitted)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sent := 0
+			for off := 0; off < len(inst.Elements); off += batch {
+				if len(offs) == st.Window() {
+					collect()
+				}
+				if err := st.Send(inst.Elements[off:min(off+batch, len(inst.Elements))]); err != nil {
+					t.Fatal(err)
+				}
+				offs = append(offs, off)
+				sent++
+			}
+			if sent%conns == 0 {
+				t.Fatalf("test wants a ragged stripe: %d batches is a multiple of %d conns", sent, conns)
+			}
+			if err := st.CloseSend(); err != nil {
+				t.Fatal(err)
+			}
+			for len(offs) > 0 {
+				collect()
+			}
+			if err := st.Recv(func(int, []osp.SetID) {}); err != io.EOF {
+				t.Fatalf("Recv after fin = %v, want io.EOF", err)
+			}
+
+			per := st.ConnElements()
+			if len(per) != conns {
+				t.Fatalf("ConnElements len = %d, want %d", len(per), conns)
+			}
+			var total uint64
+			for ci, n := range per {
+				if n == 0 {
+					t.Fatalf("conn %d carried no elements: %v", ci, per)
+				}
+				total += n
+			}
+			if total != uint64(len(inst.Elements)) {
+				t.Fatalf("ConnElements sums to %d, want %d", total, len(inst.Elements))
+			}
+
+			serial, err := osp.Run(inst, osp.NewHashRandPr(seed), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := streamH.Drain(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Equal(serial) {
+				t.Fatal("multi-conn drained result differs from serial oracle")
+			}
+		})
+	}
+}
+
 // TestStreamOpenErrors covers the handshake failure modes: a client
 // without a stream address, and an instance the server has never heard
 // of (the server's Error frame surfaces as an APIError).

@@ -90,6 +90,19 @@ func (in *Instance) dropPinned(err error) error {
 	return err
 }
 
+// StreamConnElements reports, per striped stream connection, how many
+// elements IngestAuto's pinned stream has sent down it — the
+// observable stripe balance for loadgen reporting. Nil when no stream
+// is pinned (HTTP transport, or before the first IngestAuto).
+func (in *Instance) StreamConnElements() []uint64 {
+	in.tmu.Lock()
+	defer in.tmu.Unlock()
+	if in.pinned == nil {
+		return nil
+	}
+	return in.pinned.ConnElements()
+}
+
 // Transport reports IngestAuto's pinned transport for this instance:
 // "stream" or "http" once the first call settles it, "auto" before.
 func (in *Instance) Transport() string {
