@@ -14,8 +14,14 @@
 //	ospcluster -nodes http://a:8080,http://b:8080 -stream-nodes a:8081,b:8081
 //	ospcluster -spawn 3 -kill 1 -kill-at 0.5 # failover demo mid-stream
 //	ospcluster -spawn 3 -kill 1 -journal=false  # lossy failover, accounted
+//	ospcluster -spawn 3 -kill 1 -spares 1 -auto-failover  # zero-operator recovery
 //	ospcluster -spawn 2 -fanout=false        # pinned placement by ring
 //	ospcluster -spawn 2 -log reg.jsonl -print-metrics
+//
+// With -auto-failover the health monitor probes every slot, declares the
+// killed node dead, and replaces it from the -spares pool on its own —
+// the ingest loop below never calls ReplaceNode; failed shares ride
+// through the failover inside Ingest.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -60,6 +67,9 @@ func run(args []string, w io.Writer) error {
 		logPath   = fs.String("log", "", "file-backed registration log (JSONL); empty keeps it in memory")
 		kill      = fs.Int("kill", -1, "failover demo: kill the node at this slot mid-stream and replace it (embedded fleet only)")
 		killAt    = fs.Float64("kill-at", 0.5, "failover demo: kill after this fraction of the element stream")
+		spares    = fs.Int("spares", 0, "embedded fleet: spare nodes booted as the automatic-failover replacement pool")
+		autoFail  = fs.Bool("auto-failover", false, "arm the health monitor: dead slots are replaced from the spare pool with zero operator involvement")
+		healthIv  = fs.Duration("health-interval", 100*time.Millisecond, "health probe period (with -auto-failover)")
 		zipf      = fs.Float64("zipf", 0, "Zipf exponent s for skewed set weights (0 = unit weights)")
 		label     = fs.String("label", "cluster", "metrics label for the registered instance")
 		verify    = fs.Bool("verify", true, "cross-check the merged drain against the policy's serial oracle")
@@ -68,11 +78,23 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The health monitor's event hook logs from its own goroutine, so
+	// every write to w goes through one lock.
+	w = &lockedWriter{w: w}
 	if *batch < 1 {
 		return fmt.Errorf("batch must be >= 1, got %d", *batch)
 	}
 	if *killAt < 0 || *killAt >= 1 {
 		return fmt.Errorf("kill-at must be in [0,1), got %v", *killAt)
+	}
+	if *spares < 0 {
+		return fmt.Errorf("spares must be >= 0, got %d", *spares)
+	}
+	if *spares > 0 && *nodesFlag != "" {
+		return errors.New("-spares needs an embedded fleet (-spawn); spares are booted in-process")
+	}
+	if *autoFail && *kill >= 0 && *spares < 1 {
+		return errors.New("-auto-failover with -kill needs at least one spare to fail over to")
 	}
 	var weightFn func(i int) float64
 	if *zipf > 0 {
@@ -139,6 +161,22 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("kill slot %d out of range for %d nodes", *kill, len(fleet))
 	}
 
+	// The spare pool: booted up front so a failover only swaps addresses,
+	// never waits on process startup.
+	var spareNodes []cluster.Node
+	for i := 0; i < *spares; i++ {
+		sp, err := cluster.StartLocalNode(osp.ServerConfig{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			sp.Shutdown(ctx) //nolint:errcheck
+		}()
+		spareNodes = append(spareNodes, sp.Config())
+	}
+
 	var lg *cluster.Log
 	if *logPath != "" {
 		if lg, err = cluster.OpenLog(*logPath); err != nil {
@@ -150,6 +188,30 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer co.Close() //nolint:errcheck
+
+	var mon *cluster.Monitor
+	if *autoFail {
+		mon = co.StartHealth(cluster.HealthConfig{
+			Interval:      *healthIv,
+			FailThreshold: 2,
+			Spares:        spareNodes,
+			AutoFailover:  true,
+			OnEvent: func(ev cluster.HealthEvent) {
+				switch {
+				case ev.Failover && ev.Err == nil:
+					fmt.Fprintf(w, "health:   slot %d auto-failover -> %s, registration replayed, retained shares resent\n",
+						ev.Slot, ev.Node)
+				case ev.Failover:
+					fmt.Fprintf(w, "health:   slot %d auto-failover to %s FAILED: %v\n", ev.Slot, ev.Node, ev.Err)
+				default:
+					fmt.Fprintf(w, "health:   slot %d %s -> %s\n", ev.Slot, ev.From, ev.To)
+				}
+			},
+		})
+		defer mon.Stop()
+		fmt.Fprintf(w, "health:   monitor armed, probe every %v, %d spare(s), auto-failover on\n",
+			*healthIv, len(spareNodes))
+	}
 
 	ctx := context.Background()
 	in, err := co.Register(ctx, cluster.Spec{
@@ -196,7 +258,7 @@ func run(args []string, w io.Writer) error {
 			continue
 		}
 		var ne *cluster.NodeError
-		if !failedOver && killOff >= 0 && errors.As(err, &ne) && ne.Slot == *kill {
+		if !failedOver && killOff >= 0 && !*autoFail && errors.As(err, &ne) && ne.Slot == *kill {
 			repl, rerr := cluster.StartLocalNode(osp.ServerConfig{})
 			if rerr != nil {
 				return rerr
@@ -217,6 +279,18 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("ingest batch at %d: %w", off, err)
 	}
 	elapsed := time.Since(start)
+	if killOff >= 0 && *autoFail {
+		// With the monitor armed, the failed ingest rode through the
+		// automatic failover inside Ingest — no error ever surfaced here.
+		// The success counter can lag the ride-through by one beat.
+		for i := 0; mon.AutoFailovers() == 0 && i < 200; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if mon.AutoFailovers() == 0 {
+			return errors.New("kill requested but the health monitor never failed over")
+		}
+		failedOver = true
+	}
 	if killOff >= 0 && !failedOver {
 		return errors.New("kill requested but no ingest failed against the dead node")
 	}
@@ -294,6 +368,19 @@ func run(args []string, w io.Writer) error {
 		co.WriteMetrics(w)
 	}
 	return nil
+}
+
+// lockedWriter serializes output: the health monitor's event hook
+// writes from the monitor goroutine, concurrent with the main loop.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 // policyName resolves the empty policy flag to the default's name.

@@ -84,6 +84,37 @@ func TestRunFailoverNoJournal(t *testing.T) {
 	}
 }
 
+// TestRunAutoFailover is the zero-operator arm: the health monitor is
+// armed with a spare, a node is killed mid-stream, and recovery happens
+// with no ReplaceNode anywhere in the loop — the drain still verifies
+// bit-for-bit and the metrics attribute the failover to the monitor.
+func TestRunAutoFailover(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-spawn", "3", "-kill", "1", "-kill-at", "0.4",
+		"-spares", "1", "-auto-failover", "-health-interval", "25ms",
+		"-m", "30", "-n", "3000", "-load", "3", "-batch", "200", "-print-metrics"}, &b)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"health:   monitor armed, probe every 25ms, 1 spare(s), auto-failover on",
+		"kill:     slot 1 down",
+		"health:   slot 1 auto-failover -> ",
+		"verify:   merged drain bit-for-bit identical to serial randpr oracle",
+		"osp_cluster_auto_failovers_total 1",
+		"osp_cluster_spares 0",
+		"osp_cluster_lost_elements_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "failover: slot") {
+		t.Errorf("manual failover path ran with -auto-failover armed:\n%s", out)
+	}
+}
+
 // TestRunFileLog: the registration log lands on disk and survives the
 // run — one JSONL entry for the one registration.
 func TestRunFileLog(t *testing.T) {
@@ -110,13 +141,15 @@ func TestRunFileLog(t *testing.T) {
 // misbehave.
 func TestRunFlagValidation(t *testing.T) {
 	cases := map[string][]string{
-		"kill-external":  {"-nodes", "http://localhost:1", "-kill", "0"},
-		"kill-range":     {"-spawn", "2", "-kill", "5"},
-		"kill-at-range":  {"-spawn", "2", "-kill", "0", "-kill-at", "1.5"},
-		"batch-zero":     {"-batch", "0"},
-		"spawn-zero":     {"-spawn", "0"},
-		"zipf-negative":  {"-zipf", "-1"},
-		"unknown-policy": {"-spawn", "1", "-policy", "nope", "-n", "100"},
+		"kill-external":     {"-nodes", "http://localhost:1", "-kill", "0"},
+		"kill-range":        {"-spawn", "2", "-kill", "5"},
+		"kill-at-range":     {"-spawn", "2", "-kill", "0", "-kill-at", "1.5"},
+		"batch-zero":        {"-batch", "0"},
+		"spawn-zero":        {"-spawn", "0"},
+		"zipf-negative":     {"-zipf", "-1"},
+		"spares-external":   {"-nodes", "http://localhost:1", "-spares", "1"},
+		"autofail-no-spare": {"-spawn", "2", "-kill", "0", "-auto-failover"},
+		"unknown-policy":    {"-spawn", "1", "-policy", "nope", "-n", "100"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {

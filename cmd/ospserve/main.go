@@ -67,6 +67,7 @@ func run(args []string, w io.Writer) error {
 		strmCpy = fs.Bool("stream-copy-decode", false, "stream transport: force the copying batch decoder instead of zero-copy aliasing (A/B escape hatch)")
 		strmTim = fs.Bool("stream-timings", false, "stream transport: record per-batch decode latency into the osp_stream_decode histogram (two time.Now stamps per frame)")
 		nodeLbl = fs.String("node", "", "service mode: node name exported as the osp_node_info metric (cluster deployments)")
+		snapDir = fs.String("snapshot-dir", "", "service mode: restore instance snapshots from this directory on boot and write them on drain/SIGTERM; POST /v1/instances/{id}/snapshot persists there on demand")
 		maxInst = fs.Int("max-instances", 0, "service mode: engine pool limit (0 = default 1024)")
 		maxBat  = fs.Int("max-batch", 0, "service mode: per-request ingest batch cap (0 = default 65536)")
 		maxBody = fs.Int64("max-body", 0, "service mode: request body byte cap (0 = default 256 MiB)")
@@ -112,7 +113,7 @@ func run(args []string, w io.Writer) error {
 			MaxInstances: *maxInst, MaxBatch: *maxBat, MaxBodyBytes: *maxBody,
 			StreamWindow: *strmWin, StreamCopyDecode: *strmCpy, StreamTimings: *strmTim,
 			Decisions: dlog, EnablePprof: *pprofOn,
-			NodeLabel: *nodeLbl,
+			NodeLabel: *nodeLbl, SnapshotDir: *snapDir,
 		}, w, stop, nil)
 	}
 
@@ -225,6 +226,17 @@ func openDecisionLog(path string, every int) (*osp.DecisionLog, func(), error) {
 // the bound stream address; tests use it to connect to ":0" listeners.
 func runService(listen, streamListen string, cfg osp.ServerConfig, w io.Writer, stop <-chan os.Signal, ready chan<- string) error {
 	srv := osp.NewServer(cfg)
+	if cfg.SnapshotDir != "" {
+		// Restore before the listeners open: a resuming client must never
+		// reach a server that has not yet reloaded its instances.
+		n, err := srv.RestoreDir(cfg.SnapshotDir)
+		if err != nil {
+			return fmt.Errorf("restore snapshots from %s: %w", cfg.SnapshotDir, err)
+		}
+		if n > 0 {
+			fmt.Fprintf(w, "ospserve: restored %d instance(s) from %s\n", n, cfg.SnapshotDir)
+		}
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -267,7 +279,17 @@ func runService(listen, streamListen string, cfg osp.ServerConfig, w io.Writer, 
 	defer cancel()
 	httpErr := hs.Shutdown(ctx)
 	drainErr := srv.Shutdown(ctx)
-	if err := errors.Join(httpErr, drainErr); err != nil {
+	var snapErr error
+	if cfg.SnapshotDir != "" {
+		// The engines are quiesced now, so every export is instant; the
+		// atomic writes make the directory safe against a crash mid-write.
+		if err := srv.WriteSnapshots(ctx, cfg.SnapshotDir); err != nil {
+			snapErr = fmt.Errorf("write snapshots to %s: %w", cfg.SnapshotDir, err)
+		} else {
+			fmt.Fprintf(w, "ospserve: wrote %d instance snapshot(s) to %s\n", srv.Pool().Len(), cfg.SnapshotDir)
+		}
+	}
+	if err := errors.Join(httpErr, drainErr, snapErr); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "ospserve: all engines drained, bye\n")

@@ -56,6 +56,11 @@ type Config struct {
 	// stream client opens (client.WithStreamConns); 0 or 1 means a
 	// single connection. Only nodes with a StreamAddr are affected.
 	StreamConns int
+	// Retry, when set, threads a deadline-budgeted retry policy through
+	// every node client's ingest and drain paths (client.WithRetry) — a
+	// share hitting a node mid-restart is retried under backoff before
+	// the coordinator declares the forward failed and retains it.
+	Retry *client.RetryPolicy
 }
 
 // Spec describes one cluster-level instance registration.
@@ -109,13 +114,16 @@ type member struct {
 	errs     atomic.Uint64
 }
 
-func dialMember(slot int, cfg Node, hc *http.Client, conns int) (*member, error) {
+func dialMember(slot int, cfg Node, hc *http.Client, conns int, retry *client.RetryPolicy) (*member, error) {
 	opts := []client.Option{client.WithHTTPClient(hc)}
 	if cfg.StreamAddr != "" {
 		opts = append(opts, client.WithStreamAddr(cfg.StreamAddr))
 		if conns > 1 {
 			opts = append(opts, client.WithStreamConns(conns))
 		}
+	}
+	if retry != nil {
+		opts = append(opts, client.WithRetry(*retry))
 	}
 	c, err := client.New(cfg.BaseURL, opts...)
 	if err != nil {
@@ -135,10 +143,12 @@ type Coordinator struct {
 	ring    *Ring
 	log     *Log
 	httpc   *http.Client
+	retry   *client.RetryPolicy
 
 	mu     sync.Mutex
 	nodes  []*member
 	insts  map[string]*Instance
+	health *Monitor // attached by StartHealth, nil without one
 	nextID int
 
 	failovers atomic.Uint64
@@ -167,11 +177,12 @@ func New(cfg Config) (*Coordinator, error) {
 		ring:    NewRing(len(cfg.Nodes), cfg.Vnodes),
 		log:     lg,
 		httpc:   hc,
+		retry:   cfg.Retry,
 		nodes:   make([]*member, len(cfg.Nodes)),
 		insts:   make(map[string]*Instance),
 	}
 	for i, n := range cfg.Nodes {
-		m, err := dialMember(i, n, hc, cfg.StreamConns)
+		m, err := dialMember(i, n, hc, cfg.StreamConns, cfg.Retry)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +365,37 @@ type share struct {
 // ReplaceNode resends retained shares onto the replacement. Elements
 // handed to Ingest are referenced until then — callers must not mutate
 // them afterwards.
+//
+// With a health monitor attached and AutoFailover armed (StartHealth),
+// a *NodeError does not surface immediately: Ingest blocks — the
+// backpressure a dying node earns — until the automatic failover's
+// replay has resent the retained share onto the replacement, then
+// returns nil. The rode-through share's verdict callbacks are skipped
+// (its verdicts happened during the replay); surviving shares' fired
+// normally. Only when no failover rescues the share within the
+// monitor's budget does the *NodeError reach the caller.
 func (in *Instance) Ingest(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
+	err := in.ingestOnce(ctx, els, fn)
+	if err == nil {
+		return nil
+	}
+	var ne *NodeError
+	if !errors.As(err, &ne) {
+		return err
+	}
+	m := in.co.healthMonitor()
+	if m == nil || !m.cfg.AutoFailover {
+		return err
+	}
+	if in.rideThrough(ctx, m.cfg.failoverBudget()) {
+		return nil
+	}
+	return err
+}
+
+// ingestOnce is one forwarding pass; failed shares are retained for the
+// failover replay.
+func (in *Instance) ingestOnce(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
 	if len(els) == 0 {
 		return errors.New("cluster: ingest: empty batch")
 	}
@@ -509,7 +550,7 @@ func (co *Coordinator) ReplaceNode(ctx context.Context, slot int, replacement No
 	if err := co.ring.validateSlot(slot); err != nil {
 		return err
 	}
-	m, err := dialMember(slot, replacement, co.httpc, co.conns)
+	m, err := dialMember(slot, replacement, co.httpc, co.conns, co.retry)
 	if err != nil {
 		return err
 	}

@@ -46,11 +46,22 @@ type LogEntry struct {
 // Log is the append-only registration log: always in memory, optionally
 // mirrored to a JSONL file. Safe for concurrent use.
 type Log struct {
-	mu      sync.Mutex
-	entries []LogEntry
-	w       *bufio.Writer // nil when memory-only
-	f       *os.File
+	mu        sync.Mutex
+	entries   []LogEntry
+	f         *os.File // nil when memory-only
+	fsync     bool
+	truncated int // malformed tail lines dropped at open
 }
+
+// LogOption customizes OpenLog.
+type LogOption func(*Log)
+
+// LogFsync makes every Append fsync the backing file before returning,
+// so an acknowledged registration survives not just a process crash but
+// a machine crash. Registrations are rare (one per instance, never on
+// the element hot path), so the per-append fsync cost is irrelevant
+// next to the durability it buys.
+func LogFsync() LogOption { return func(l *Log) { l.fsync = true } }
 
 // NewLog returns a memory-only registration log.
 func NewLog() *Log { return &Log{} }
@@ -58,68 +69,107 @@ func NewLog() *Log { return &Log{} }
 // OpenLog opens (creating or appending) a file-backed registration log
 // and loads any entries already in it, so a restarted coordinator
 // resumes with the registrations of its predecessor.
-func OpenLog(path string) (*Log, error) {
+//
+// A malformed or truncated FINAL line — the signature of a crash mid-
+// append — is tolerated: the tail line is dropped, counted
+// (TruncatedTail) and overwritten by the next Append, instead of
+// failing the whole replay the way corruption in the middle of the log
+// (which no crash produces) still does.
+func OpenLog(path string, opts ...LogOption) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open registration log: %w", err)
 	}
-	entries, err := readEntries(f)
+	entries, keep, truncated, err := readEntries(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	// Position the write cursor after the last good line: a dropped
+	// partial tail is overwritten by the next Append rather than left to
+	// corrupt the line after it.
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("cluster: seek registration log: %w", err)
 	}
-	return &Log{entries: entries, f: f, w: bufio.NewWriter(f)}, nil
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: truncate registration log tail: %w", err)
+	}
+	l := &Log{entries: entries, f: f, truncated: truncated}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l, nil
 }
 
-// readEntries parses a JSONL registration log.
-func readEntries(r io.Reader) ([]LogEntry, error) {
-	var entries []LogEntry
+// readEntries parses a JSONL registration log, returning the entries,
+// the byte offset just past the last well-formed line, and the number
+// of malformed tail lines dropped (0 or 1 — anything malformed before
+// the final line is still a hard error).
+func readEntries(r io.Reader) (entries []LogEntry, keep int64, truncated int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	line := 0
+	var (
+		line    int
+		badLine int // 1-based index of the first malformed line seen
+		badErr  error
+	)
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
+		if badErr != nil {
+			// A malformed line with more lines after it is real corruption,
+			// not a crashed append.
+			return nil, 0, 0, fmt.Errorf("cluster: registration log line %d: %w", badLine, badErr)
+		}
 		if len(raw) == 0 {
+			keep += 1 // the newline itself
 			continue
 		}
 		var e LogEntry
-		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("cluster: registration log line %d: %w", line, err)
+		if jerr := json.Unmarshal(raw, &e); jerr != nil {
+			badLine, badErr = line, jerr
+			continue
 		}
 		entries = append(entries, e)
+		keep += int64(len(raw)) + 1
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("cluster: read registration log: %w", err)
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, 0, fmt.Errorf("cluster: read registration log: %w", serr)
 	}
-	return entries, nil
+	if badErr != nil {
+		truncated = 1
+	}
+	return entries, keep, truncated, nil
 }
 
-// Append records one registration, flushing through to the file when
-// the log is file-backed (a registration is rare and must survive a
-// coordinator crash, so durability beats batching here).
+// Append records one registration. File-backed logs write the entry as
+// ONE write syscall (entry + newline in a single buffer — the kernel
+// appends it atomically with respect to other writers of the same fd),
+// so a crash mid-append leaves at most one partial tail line, which the
+// next OpenLog drops and counts instead of failing. With LogFsync the
+// write is additionally flushed to stable storage before Append
+// returns.
 func (l *Log) Append(e LogEntry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.f != nil {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("cluster: encode registration log entry: %w", err)
+		}
+		raw = append(raw, '\n')
+		if _, err := l.f.Write(raw); err != nil {
+			return fmt.Errorf("cluster: append registration log: %w", err)
+		}
+		if l.fsync {
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("cluster: fsync registration log: %w", err)
+			}
+		}
+	}
 	l.entries = append(l.entries, e)
-	if l.w == nil {
-		return nil
-	}
-	raw, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("cluster: encode registration log entry: %w", err)
-	}
-	raw = append(raw, '\n')
-	if _, err := l.w.Write(raw); err != nil {
-		return fmt.Errorf("cluster: append registration log: %w", err)
-	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("cluster: flush registration log: %w", err)
-	}
 	return nil
 }
 
@@ -139,6 +189,16 @@ func (l *Log) Len() int {
 	return len(l.entries)
 }
 
+// TruncatedTail reports how many malformed tail lines OpenLog dropped —
+// 0 on a clean log, 1 after a crash mid-append. Exposed so replay
+// tooling (and the osp_cluster_log_truncated_total metric) can surface
+// that a crash was survived rather than silently absorbing it.
+func (l *Log) TruncatedTail() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
 // Close flushes and closes the backing file, if any.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -146,11 +206,11 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	err := l.w.Flush()
+	err := l.f.Sync()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
-	l.f, l.w = nil, nil
+	l.f = nil
 	if err != nil && !errors.Is(err, os.ErrClosed) {
 		return fmt.Errorf("cluster: close registration log: %w", err)
 	}

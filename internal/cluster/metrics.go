@@ -56,6 +56,29 @@ func (co *Coordinator) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "osp_cluster_node_errors_total{%s} %d\n", nodeLabels(m), m.errs.Load())
 	}
 
+	if h := co.healthMonitor(); h != nil {
+		states := h.States()
+		fmt.Fprintf(w, "# HELP osp_cluster_node_health Health-monitor state per slot: 2 healthy, 1 suspect, 0 dead.\n")
+		fmt.Fprintf(w, "# TYPE osp_cluster_node_health gauge\n")
+		for _, m := range members {
+			if m.slot < len(states) {
+				fmt.Fprintf(w, "osp_cluster_node_health{%s} %d\n", nodeLabels(m), int32(states[m.slot]))
+			}
+		}
+		fmt.Fprintf(w, "# HELP osp_cluster_spares Replacement nodes still available to automatic failover.\n")
+		fmt.Fprintf(w, "# TYPE osp_cluster_spares gauge\n")
+		fmt.Fprintf(w, "osp_cluster_spares %d\n", h.SpareCount())
+		fmt.Fprintf(w, "# HELP osp_cluster_auto_failovers_total Automatic ReplaceNode replays completed by the health monitor.\n")
+		fmt.Fprintf(w, "# TYPE osp_cluster_auto_failovers_total counter\n")
+		fmt.Fprintf(w, "osp_cluster_auto_failovers_total %d\n", h.autoFailovers.Load())
+		fmt.Fprintf(w, "# HELP osp_cluster_failed_failovers_total Automatic ReplaceNode replays that errored (slot left suspect, shares retained).\n")
+		fmt.Fprintf(w, "# TYPE osp_cluster_failed_failovers_total counter\n")
+		fmt.Fprintf(w, "osp_cluster_failed_failovers_total %d\n", h.failedAttempts.Load())
+		fmt.Fprintf(w, "# HELP osp_cluster_probe_failures_total Health probes that failed.\n")
+		fmt.Fprintf(w, "# TYPE osp_cluster_probe_failures_total counter\n")
+		fmt.Fprintf(w, "osp_cluster_probe_failures_total %d\n", h.probeFails.Load())
+	}
+
 	fmt.Fprintf(w, "# HELP osp_cluster_failovers_total Node replacements replayed (ReplaceNode).\n")
 	fmt.Fprintf(w, "# TYPE osp_cluster_failovers_total counter\n")
 	fmt.Fprintf(w, "osp_cluster_failovers_total %d\n", co.failovers.Load())

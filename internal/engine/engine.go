@@ -276,6 +276,11 @@ type Engine struct {
 	metrics Metrics
 	state   atomic.Int32 // State; written by the submitter, read by anyone
 	result  *core.Result
+	// base is the per-set assigned counts a restored engine starts from
+	// (NewFromCheckpoint); nil for fresh engines. Drain merges it exactly
+	// like another shard's counters — integer counts commute, which is
+	// what makes checkpoint/restore bit-for-bit exact.
+	base []int32
 }
 
 // shard is one worker: a bounded inbox and shard-local bookkeeping.
@@ -699,6 +704,9 @@ func (e *Engine) Drain() (*core.Result, error) {
 	e.wg.Wait()
 
 	total := make([]int32, e.info.NumSets())
+	for i, c := range e.base {
+		total[i] = c
+	}
 	for _, s := range e.shards {
 		for i, c := range s.assigned {
 			total[i] += c

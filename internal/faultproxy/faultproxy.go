@@ -1,0 +1,311 @@
+// Package faultproxy is a TCP proxy that injects network faults between
+// a client and an upstream — the harness the cluster chaos suite trusts.
+// A Proxy fronts one upstream address and forwards byte streams
+// unmodified in Pass mode; switching the fault at runtime (Set) makes it
+// misbehave in controlled, repeatable ways: added latency, refused
+// connections, silent blackholes, connection resets, and mid-frame
+// truncation. Faults apply to live connections as well as new ones —
+// each copy pump consults the current fault per chunk — so a test can
+// let traffic flow, flip the fault under an in-flight stream, and watch
+// the client's recovery path, then flip back to Pass and watch it heal.
+//
+// The proxy never parses the bytes it carries. Truncate and Reset count
+// raw forwarded bytes, which is exactly what makes them land mid-frame:
+// any budget that does not fall on a frame boundary leaves the reader
+// holding a partial frame when the connection dies.
+package faultproxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode names a fault class.
+type Mode int
+
+const (
+	// Pass forwards traffic unmodified.
+	Pass Mode = iota
+	// Delay forwards traffic with Fault.Latency added before each chunk.
+	Delay
+	// Drop refuses new connections (accepted, then closed immediately).
+	// Existing connections keep flowing — pair with CutConns to kill
+	// those too, which together model a crashed process.
+	Drop
+	// Blackhole swallows traffic: connections stay open, bytes are read
+	// and discarded, nothing is forwarded and nothing comes back. The
+	// client hangs until its own deadline fires — the partition case
+	// that distinguishes "dead" from "slow".
+	Blackhole
+	// Reset forwards Fault.AfterBytes total bytes, then tears the client
+	// connection down with a TCP RST (connection reset by peer).
+	Reset
+	// Truncate forwards Fault.AfterBytes total bytes, then closes both
+	// sides cleanly — the reader sees EOF mid-frame.
+	Truncate
+)
+
+// String implements fmt.Stringer for test output.
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Blackhole:
+		return "blackhole"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Fault is the proxy's current misbehavior.
+type Fault struct {
+	// Mode selects the fault class.
+	Mode Mode
+	// Latency is the per-chunk forwarding delay under Delay.
+	Latency time.Duration
+	// AfterBytes is the total forwarded-byte budget (both directions,
+	// per connection) before Reset or Truncate strikes. 0 strikes on the
+	// first chunk.
+	AfterBytes int64
+}
+
+// pair is one proxied connection: the accepted client side, the dialed
+// upstream side, and the forwarded-byte count the terminal faults meter.
+type pair struct {
+	client    net.Conn
+	upstream  net.Conn
+	forwarded atomic.Int64
+	pumpsDone atomic.Int32
+	closeOnce sync.Once
+}
+
+// close tears both sides down; rst sends the client a RST instead of a
+// FIN (a crashed peer, not a polite one).
+func (pr *pair) close(rst bool) {
+	pr.closeOnce.Do(func() {
+		if rst {
+			if tc, ok := pr.client.(*net.TCPConn); ok {
+				tc.SetLinger(0) //nolint:errcheck // best effort; Close below is the guarantee
+			}
+		}
+		pr.client.Close()   //nolint:errcheck // teardown
+		pr.upstream.Close() //nolint:errcheck // teardown
+	})
+}
+
+// Proxy is one listener fronting one upstream. Safe for concurrent use;
+// Set and CutConns may race freely with live traffic.
+type Proxy struct {
+	lis    net.Listener
+	target string
+
+	mu    sync.Mutex
+	fault Fault
+	conns map[*pair]struct{}
+
+	accepted atomic.Uint64
+	refused  atomic.Uint64
+	cut      atomic.Uint64
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string) (*Proxy, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultproxy: listen: %w", err)
+	}
+	p := &Proxy{
+		lis:    lis,
+		target: target,
+		conns:  make(map[*pair]struct{}),
+		closed: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — point the client here.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Set switches the injected fault. Live connections feel it on their
+// next chunk.
+func (p *Proxy) Set(f Fault) {
+	p.mu.Lock()
+	p.fault = f
+	p.mu.Unlock()
+}
+
+// Current returns the fault now in force.
+func (p *Proxy) Current() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fault
+}
+
+// CutConns hard-closes every live proxied connection (client side gets a
+// RST — the crashed-process signature) and returns how many died.
+func (p *Proxy) CutConns() int {
+	p.mu.Lock()
+	pairs := make([]*pair, 0, len(p.conns))
+	for pr := range p.conns {
+		pairs = append(pairs, pr)
+	}
+	p.mu.Unlock()
+	for _, pr := range pairs {
+		pr.close(true)
+	}
+	p.cut.Add(uint64(len(pairs)))
+	return len(pairs)
+}
+
+// Accepted returns the number of connections accepted and proxied.
+func (p *Proxy) Accepted() uint64 { return p.accepted.Load() }
+
+// Refused returns the number of connections dropped at accept (Drop).
+func (p *Proxy) Refused() uint64 { return p.refused.Load() }
+
+// Cut returns the number of live connections killed by CutConns.
+func (p *Proxy) Cut() uint64 { return p.cut.Load() }
+
+// Close stops the listener and tears down every live connection.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	err := p.lis.Close()
+	p.mu.Lock()
+	pairs := make([]*pair, 0, len(p.conns))
+	for pr := range p.conns {
+		pairs = append(pairs, pr)
+	}
+	p.mu.Unlock()
+	for _, pr := range pairs {
+		pr.close(false)
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.Current().Mode == Drop {
+			p.refused.Add(1)
+			c.Close() //nolint:errcheck // the point of Drop
+			continue
+		}
+		u, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			p.refused.Add(1)
+			c.Close() //nolint:errcheck // upstream unreachable
+			continue
+		}
+		pr := &pair{client: c, upstream: u}
+		p.mu.Lock()
+		p.conns[pr] = struct{}{}
+		p.mu.Unlock()
+		p.accepted.Add(1)
+		p.wg.Add(2)
+		go p.pump(pr, c, u, false)
+		go p.pump(pr, u, c, true)
+	}
+}
+
+// pump copies src to dst applying the current fault per chunk.
+// toClient marks the upstream→client direction (the one Reset RSTs).
+func (p *Proxy) pump(pr *pair, src, dst net.Conn, toClient bool) {
+	defer p.wg.Done()
+	// A half-closed pair keeps its surviving direction cuttable: forget
+	// only once both pumps are gone.
+	defer func() {
+		if pr.pumpsDone.Add(1) == 2 {
+			p.forget(pr)
+		}
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			f := p.Current()
+			switch f.Mode {
+			case Blackhole:
+				// Swallow the chunk: the sender's write succeeded into the
+				// void and no reply will ever come.
+			case Delay:
+				select {
+				case <-time.After(f.Latency):
+				case <-p.closed:
+					pr.close(false)
+					return
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					pr.close(false)
+					return
+				}
+			case Reset, Truncate:
+				left := f.AfterBytes - pr.forwarded.Load()
+				if left < 0 {
+					left = 0
+				}
+				if int64(n) <= left {
+					if _, werr := dst.Write(buf[:n]); werr != nil {
+						pr.close(false)
+						return
+					}
+					pr.forwarded.Add(int64(n))
+					break
+				}
+				if left > 0 {
+					dst.Write(buf[:left]) //nolint:errcheck // dying anyway
+					pr.forwarded.Add(left)
+				}
+				pr.close(f.Mode == Reset)
+				return
+			default: // Pass, and Drop's live-connection grace
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					pr.close(false)
+					return
+				}
+				pr.forwarded.Add(int64(n))
+			}
+		}
+		if err != nil {
+			// Half-close toward dst so pipelined bytes in the other
+			// direction still drain, then let the peer pump finish.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite() //nolint:errcheck // best-effort half-close
+			} else {
+				pr.close(false)
+			}
+			return
+		}
+	}
+}
+
+// forget removes the pair from the live set once both pumps exited.
+func (p *Proxy) forget(pr *pair) {
+	p.mu.Lock()
+	delete(p.conns, pr)
+	p.mu.Unlock()
+}

@@ -1,0 +1,216 @@
+package faultproxy_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultproxy"
+)
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c) //nolint:errcheck // test echo
+				c.Close()
+			}()
+		}
+	}()
+	return lis.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *faultproxy.Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip writes msg and expects it echoed back verbatim.
+func roundTrip(t *testing.T, c net.Conn, msg string) {
+	t.Helper()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test deadline
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo = %q, want %q", buf, msg)
+	}
+}
+
+func TestPassForwardsVerbatim(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, "hello through the proxy")
+	if p.Accepted() != 1 {
+		t.Errorf("accepted = %d, want 1", p.Accepted())
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Set(faultproxy.Fault{Mode: faultproxy.Delay, Latency: 60 * time.Millisecond})
+	c := dialProxy(t, p)
+	start := time.Now()
+	roundTrip(t, c, "slow boat")
+	// Two pumped chunks (request + echo), each delayed.
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 100ms of injected latency", d)
+	}
+}
+
+func TestDropRefusesNewConnections(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Set(faultproxy.Fault{Mode: faultproxy.Drop})
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		return // refused at SYN level is fine too
+	}
+	defer c.Close()
+	// The accept side closed immediately: the first read reports it.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test deadline
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on dropped connection succeeded")
+	}
+	if p.Refused() == 0 {
+		t.Error("refused counter did not move")
+	}
+}
+
+func TestBlackholeSwallowsTraffic(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Set(faultproxy.Fault{Mode: faultproxy.Blackhole})
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond)) //nolint:errcheck // the point
+	_, err = c.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackhole read ended with %v, want timeout", err)
+	}
+}
+
+func TestResetSendsRST(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Set(faultproxy.Fault{Mode: faultproxy.Reset, AfterBytes: 4})
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test deadline
+	_, err = io.ReadAll(c)
+	if err == nil {
+		t.Fatal("read after reset budget succeeded, want connection reset")
+	}
+	if !strings.Contains(err.Error(), "reset") && !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("error = %v, want connection reset", err)
+	}
+}
+
+func TestTruncateCutsMidStream(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Budget lands inside the 16-byte "frame": 10 bytes through, then EOF.
+	p.Set(faultproxy.Fault{Mode: faultproxy.Truncate, AfterBytes: 10})
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("0123456789abcdef")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test deadline
+	got, err := io.ReadAll(c)
+	if err != nil && !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) >= 16 {
+		t.Fatalf("read %d bytes through a 10-byte truncation budget", len(got))
+	}
+}
+
+func TestRuntimeSwitchHeals(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Break it, watch a connection die, heal it, watch traffic flow.
+	p.Set(faultproxy.Fault{Mode: faultproxy.Drop})
+	if c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second); err == nil {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test deadline
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("connection survived Drop")
+		}
+		c.Close()
+	}
+	p.Set(faultproxy.Fault{Mode: faultproxy.Pass})
+	roundTrip(t, dialProxy(t, p), "healed")
+}
+
+func TestCutConnsKillsLiveConnections(t *testing.T) {
+	p, err := faultproxy.New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, "warm")
+	if n := p.CutConns(); n != 1 {
+		t.Fatalf("CutConns = %d, want 1", n)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test deadline
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on cut connection succeeded")
+	}
+	if p.Cut() != 1 {
+		t.Errorf("cut counter = %d, want 1", p.Cut())
+	}
+	// The proxy still accepts fresh connections afterwards.
+	roundTrip(t, dialProxy(t, p), "fresh after cut")
+}

@@ -46,11 +46,15 @@ var scratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
 // isBinaryBatch reports whether the request negotiates the binary batch
 // codec via Content-Type (parameters after ';' are ignored).
 func isBinaryBatch(r *http.Request) bool {
-	ct := r.Header.Get("Content-Type")
+	return mediaType(r.Header.Get("Content-Type")) == wire.ContentTypeBatch
+}
+
+// mediaType strips parameters and whitespace off a Content-Type value.
+func mediaType(ct string) string {
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
-	return strings.TrimSpace(ct) == wire.ContentTypeBatch
+	return strings.TrimSpace(ct)
 }
 
 // readBody reads the whole request body into buf (reusing its storage),

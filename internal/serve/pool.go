@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -48,6 +49,14 @@ type Instance struct {
 
 	mu  sync.Mutex // serializes Submit/Drain on the engine
 	eng *engine.Engine
+
+	// final marks a drain requested by a client (POST .../drain, DELETE)
+	// as opposed to the indiscriminate engine drain a graceful shutdown
+	// performs on every instance. Snapshots record it so a restore knows
+	// whether the instance's stream logically ended (restore as drained,
+	// terminal Result intact) or was merely interrupted (restore as
+	// streaming, ready for the rest of the stream).
+	final atomic.Bool
 
 	// rw fences lane submissions against Drain: every IngestLane submit
 	// holds the read side, Drain takes the write side (after mu), so
@@ -161,6 +170,14 @@ func (l *IngestLane) IngestBatch(b *engine.Batch) error {
 	defer l.in.rw.RUnlock()
 	return l.lane.SubmitBatch(b)
 }
+
+// MarkFinal records that the instance's stream was closed by a client
+// request rather than by shutdown. Called by the drain/remove handlers
+// before they Drain.
+func (in *Instance) MarkFinal() { in.final.Store(true) }
+
+// Final reports whether the instance was client-drained (see MarkFinal).
+func (in *Instance) Final() bool { return in.final.Load() }
 
 // Drain closes the instance's stream and returns the final result,
 // bit-for-bit identical to a serial HashRandPr run under the same seed.

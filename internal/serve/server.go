@@ -8,11 +8,17 @@
 // Endpoints (full request/response reference in docs/OPERATIONS.md):
 //
 //	POST   /v1/instances                 register a set system, open an engine
+//	                                     (a body of Content-Type application/
+//	                                     x-osp-snapshot restores an instance
+//	                                     from a snapshot frame instead)
 //	GET    /v1/instances                 list instances with live metrics
 //	GET    /v1/instances/{id}            one instance's status
 //	POST   /v1/instances/{id}/elements   batched element ingest → admit/drop verdicts
 //	                                     (JSON, or the zero-allocation binary codec
 //	                                     negotiated via Content-Type — see binary.go)
+//	POST   /v1/instances/{id}/snapshot   quiesce → snapshot frame of the
+//	                                     instance's recoverable state (persisted
+//	                                     to -snapshot-dir when configured)
 //	POST   /v1/instances/{id}/drain      close the stream → final Result (idempotent)
 //	DELETE /v1/instances/{id}            drain and remove the instance
 //	GET    /v1/instances/{id}/decisions  tail of the sampled decision log
@@ -43,6 +49,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -50,6 +58,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/setsystem"
+	"repro/internal/wire"
 )
 
 // Config sizes the service. The zero value is usable.
@@ -99,6 +108,13 @@ type Config struct {
 	// answered with real verdicts, then the stream ends with a
 	// "shutting down" error frame. 0 means 1 second.
 	StreamDrainGrace time.Duration
+	// SnapshotDir, when set, is where POST /v1/instances/{id}/snapshot
+	// additionally persists the instance's snapshot frame (atomic
+	// tmp + rename + fsync). The daemon pairs it with WriteSnapshots at
+	// shutdown and RestoreDir at boot (ospserve -snapshot-dir) so a
+	// restart — graceful or kill -9 after a persisted snapshot — resumes
+	// every instance bit-for-bit.
+	SnapshotDir string
 	// NodeLabel names this node in a cluster deployment (ospserve
 	// -node); when set it is exported as the osp_node_info gauge so a
 	// fleet dashboard can join per-node scrapes to the coordinator's
@@ -168,6 +184,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/instances/{id}", s.handleStatus)
 	s.mux.HandleFunc("POST /v1/instances/{id}/elements", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/instances/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/instances/{id}/drain", s.handleDrain)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleRemove)
 	s.mux.HandleFunc("GET /v1/instances/{id}/decisions", s.handleDecisions)
@@ -242,8 +259,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// handleRegister opens a new instance: POST /v1/instances.
+// handleRegister opens a new instance: POST /v1/instances. A body of
+// Content-Type application/x-osp-snapshot is a restore-on-register: the
+// instance is rebuilt from the snapshot frame under its original ID
+// (handleRestore) instead of registered fresh.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if mediaType(r.Header.Get("Content-Type")) == wire.ContentTypeSnapshot {
+		s.handleRestore(w, r)
+		return
+	}
 	var req RegisterRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -409,6 +433,7 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	in.MarkFinal() // client-requested: the stream logically ends here
 	res, err := in.Drain()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "drain: %v", err)
@@ -442,6 +467,13 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // handleRemove drains and deletes an instance: DELETE /v1/instances/{id}.
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if in, ok := s.pool.Get(id); ok {
+		in.MarkFinal()
+	}
+	if s.cfg.SnapshotDir != "" {
+		// A removed instance must not resurrect at the next boot.
+		os.Remove(filepath.Join(s.cfg.SnapshotDir, snapshotFileName(id))) //nolint:errcheck // best effort
+	}
 	if err := s.pool.Remove(id); err != nil {
 		if errors.Is(err, ErrUnknownInstance) {
 			writeError(w, http.StatusNotFound, "unknown instance %q", id)

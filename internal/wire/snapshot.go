@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshot frame ("OSPS") — an instance's full recoverable state.
+//
+// Because every admission policy is pure in (Info, seed), a replica can
+// rebuild the policy's frozen decision state from scratch; the only
+// run-state an instance accumulates is its per-set assigned counters
+// (plain integer sums that commute across shards) and the stream
+// counters. A snapshot therefore carries configuration + Info + counts
+// — a few dozen bytes plus 16 bytes per set — and restoring it onto a
+// fresh engine is bit-for-bit exact: the restored engine's final drain
+// equals the uninterrupted serial oracle.
+//
+// All integers little-endian; strings are uint16-length-prefixed UTF-8:
+//
+//	offset  size  field
+//	0       4     magic "OSPS"
+//	4       1     version (1)
+//	5       1     flags — bit0: Final (drained; restore as terminal)
+//	6       2+len id      — instance identifier
+//	...     2+len label   — metrics label ("" allowed)
+//	...     2+len policy  — admission policy name ("" = server default)
+//	...     8     seed
+//	...     4     shards      — resolved engine sizing
+//	...     4     batch size
+//	...     4     queue depth
+//	...     8     submitted   — stream counters at checkpoint; submitted
+//	...     8     processed     always equals processed (the checkpoint
+//	...     8     batches       quiesces the engine first)
+//	...     8     assigned total
+//	...     8     dropped
+//	...     4     m — number of sets
+//	...     8m    weights  — float64 bits
+//	...     4m    sizes    — declared set sizes
+//	...     4m    assigned — per-set assigned counts (the run state)
+//
+// A frame's length is fully determined by its header and the three
+// length prefixes; any mismatch is rejected before data is touched.
+
+// ContentTypeSnapshot marks an HTTP body as a binary snapshot frame —
+// returned by POST /v1/instances/{id}/snapshot and accepted by
+// /v1/instances to restore.
+const ContentTypeSnapshot = "application/x-osp-snapshot"
+
+// SnapshotVersion is the snapshot frame version this package encodes
+// and accepts.
+const SnapshotVersion = 1
+
+var magicSnapshot = [4]byte{'O', 'S', 'P', 'S'}
+
+const (
+	snapFlagFinal    = 1 << 0
+	snapFixedLen     = 4 + 1 + 1 + 8 + 4 + 4 + 4 + 5*8 + 4 // everything but strings and arrays
+	snapMaxStringLen = math.MaxUint16
+)
+
+// Snapshot is the decoded form of one instance snapshot frame.
+type Snapshot struct {
+	// ID is the instance identifier the snapshot was taken under; restore
+	// reuses it so clients resume against the same URL.
+	ID string
+	// Label tags the instance's metrics series.
+	Label string
+	// Policy names the admission policy ("" = server default at restore).
+	Policy string
+	// Seed is the policy seed — with Info, the whole decision state.
+	Seed uint64
+	// Shards, BatchSize, QueueDepth are the resolved engine sizing.
+	Shards, BatchSize, QueueDepth int
+	// Final marks a drained instance: restore re-derives its terminal
+	// Result from the counts instead of reopening the stream.
+	Final bool
+	// Submitted, Processed, Batches, AssignedTotal, Dropped are the
+	// stream counters at checkpoint (Submitted == Processed: the
+	// checkpoint quiesces in-flight batches first).
+	Submitted, Processed, Batches, AssignedTotal, Dropped uint64
+	// Weights and Sizes are the instance's up-front information.
+	Weights []float64
+	Sizes   []int
+	// Assigned is the per-set assigned count — the accumulated run state
+	// a restored engine resumes from.
+	Assigned []int32
+}
+
+// SnapshotLen returns the encoded byte length of a snapshot frame.
+func SnapshotLen(s *Snapshot) int {
+	return snapFixedLen + 2 + len(s.ID) + 2 + len(s.Label) + 2 + len(s.Policy) + 16*len(s.Weights)
+}
+
+// AppendSnapshot appends one encoded snapshot frame and returns the
+// extended slice. Pre-grow dst with SnapshotLen to avoid growth copies.
+// Snapshots with mismatched array lengths or oversized strings are a
+// programming error and panic.
+func AppendSnapshot(dst []byte, s *Snapshot) []byte {
+	m := len(s.Weights)
+	if len(s.Sizes) != m || len(s.Assigned) != m {
+		panic(fmt.Sprintf("wire: snapshot arrays disagree: %d weights, %d sizes, %d assigned", m, len(s.Sizes), len(s.Assigned)))
+	}
+	dst = append(dst, magicSnapshot[:]...)
+	dst = append(dst, SnapshotVersion)
+	var flags byte
+	if s.Final {
+		flags |= snapFlagFinal
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, s.ID)
+	dst = appendString(dst, s.Label)
+	dst = appendString(dst, s.Policy)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Seed)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Shards))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.BatchSize))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.QueueDepth))
+	dst = binary.LittleEndian.AppendUint64(dst, s.Submitted)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Processed)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Batches)
+	dst = binary.LittleEndian.AppendUint64(dst, s.AssignedTotal)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Dropped)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m))
+	for _, w := range s.Weights {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w))
+	}
+	for _, sz := range s.Sizes {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(sz))
+	}
+	for _, a := range s.Assigned {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(a))
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > snapMaxStringLen {
+		panic(fmt.Sprintf("wire: snapshot string %d bytes, max %d", len(s), snapMaxStringLen))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeSnapshot parses one snapshot frame. The frame is validated
+// structurally — magic, version, exact length, counts within range, and
+// the restore invariants (Submitted == Processed, per-set assigned
+// within [0, size]) — so a decoded snapshot is safe to hand to the
+// engine's restore path. Semantic Info validation (positive sizes,
+// finite weights) remains with the registration layer, which applies
+// the same checks to restores as to fresh registrations.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapFixedLen {
+		return nil, fmt.Errorf("%w: %d bytes, snapshot fixed part is %d", ErrFrame, len(data), snapFixedLen)
+	}
+	if [4]byte(data[:4]) != magicSnapshot {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFrame, data[:4])
+	}
+	if data[4] != SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this server speaks %d", ErrVersion, data[4], SnapshotVersion)
+	}
+	s := &Snapshot{Final: data[5]&snapFlagFinal != 0}
+	rest := data[6:]
+	var err error
+	if s.ID, rest, err = takeString(rest, "id"); err != nil {
+		return nil, err
+	}
+	if s.Label, rest, err = takeString(rest, "label"); err != nil {
+		return nil, err
+	}
+	if s.Policy, rest, err = takeString(rest, "policy"); err != nil {
+		return nil, err
+	}
+	if len(rest) < 8+3*4+5*8+4 {
+		return nil, fmt.Errorf("%w: snapshot truncated after strings", ErrFrame)
+	}
+	s.Seed = binary.LittleEndian.Uint64(rest)
+	s.Shards = int(int32(binary.LittleEndian.Uint32(rest[8:])))
+	s.BatchSize = int(int32(binary.LittleEndian.Uint32(rest[12:])))
+	s.QueueDepth = int(int32(binary.LittleEndian.Uint32(rest[16:])))
+	s.Submitted = binary.LittleEndian.Uint64(rest[20:])
+	s.Processed = binary.LittleEndian.Uint64(rest[28:])
+	s.Batches = binary.LittleEndian.Uint64(rest[36:])
+	s.AssignedTotal = binary.LittleEndian.Uint64(rest[44:])
+	s.Dropped = binary.LittleEndian.Uint64(rest[52:])
+	m := binary.LittleEndian.Uint32(rest[60:])
+	rest = rest[64:]
+	if uint64(m) > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("%w: snapshot set count %d overflows", ErrFrame, m)
+	}
+	if uint64(len(rest)) != 16*uint64(m) {
+		return nil, fmt.Errorf("%w: %d array bytes for %d sets, want %d", ErrFrame, len(rest), m, 16*m)
+	}
+	if s.Shards < 0 || s.BatchSize < 0 || s.QueueDepth < 0 {
+		return nil, fmt.Errorf("%w: negative engine sizing", ErrFrame)
+	}
+	if s.Submitted != s.Processed {
+		return nil, fmt.Errorf("%w: snapshot not quiesced: submitted %d, processed %d", ErrFrame, s.Submitted, s.Processed)
+	}
+	s.Weights = make([]float64, m)
+	s.Sizes = make([]int, m)
+	s.Assigned = make([]int32, m)
+	for i := uint32(0); i < m; i++ {
+		s.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	sizesRaw := rest[8*m:]
+	assignedRaw := sizesRaw[4*m:]
+	for i := uint32(0); i < m; i++ {
+		v := binary.LittleEndian.Uint32(sizesRaw[4*i:])
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: set %d size %d overflows int32", ErrFrame, i, v)
+		}
+		s.Sizes[i] = int(v)
+	}
+	for i := uint32(0); i < m; i++ {
+		v := binary.LittleEndian.Uint32(assignedRaw[4*i:])
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: set %d assigned count %d overflows int32", ErrFrame, i, v)
+		}
+		if int(v) > s.Sizes[i] {
+			return nil, fmt.Errorf("%w: set %d assigned %d of %d elements", ErrFrame, i, v, s.Sizes[i])
+		}
+		s.Assigned[i] = int32(v)
+	}
+	return s, nil
+}
+
+func takeString(data []byte, field string) (string, []byte, error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("%w: snapshot truncated in %s length", ErrFrame, field)
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	if len(data) < 2+n {
+		return "", nil, fmt.Errorf("%w: snapshot truncated in %s (%d of %d bytes)", ErrFrame, field, len(data)-2, n)
+	}
+	return string(data[2 : 2+n]), data[2+n:], nil
+}

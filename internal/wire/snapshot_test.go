@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		ID:        "i-7",
+		Label:     "video",
+		Policy:    "randpr",
+		Seed:      0xDEADBEEFCAFE,
+		Shards:    4,
+		BatchSize: 64, QueueDepth: 8,
+		Submitted: 1500, Processed: 1500, Batches: 24,
+		AssignedTotal: 2900, Dropped: 4100,
+		Weights:  []float64{1.5, 2, 0.25},
+		Sizes:    []int{10, 3, 7},
+		Assigned: []int32{4, 3, 0},
+	}
+}
+
+// TestSnapshotRoundTrip pins encode→decode identity for every field.
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	raw := AppendSnapshot(nil, want)
+	if len(raw) != SnapshotLen(want) {
+		t.Fatalf("encoded %d bytes, SnapshotLen says %d", len(raw), SnapshotLen(want))
+	}
+	got, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if got.ID != want.ID || got.Label != want.Label || got.Policy != want.Policy ||
+		got.Seed != want.Seed || got.Shards != want.Shards ||
+		got.BatchSize != want.BatchSize || got.QueueDepth != want.QueueDepth ||
+		got.Final != want.Final ||
+		got.Submitted != want.Submitted || got.Processed != want.Processed ||
+		got.Batches != want.Batches || got.AssignedTotal != want.AssignedTotal ||
+		got.Dropped != want.Dropped {
+		t.Fatalf("scalar mismatch: got %+v want %+v", got, want)
+	}
+	for i := range want.Weights {
+		if got.Weights[i] != want.Weights[i] || got.Sizes[i] != want.Sizes[i] || got.Assigned[i] != want.Assigned[i] {
+			t.Fatalf("array mismatch at %d: got (%v,%d,%d) want (%v,%d,%d)", i,
+				got.Weights[i], got.Sizes[i], got.Assigned[i],
+				want.Weights[i], want.Sizes[i], want.Assigned[i])
+		}
+	}
+
+	want.Final = true
+	want.Label = ""
+	got, err = DecodeSnapshot(AppendSnapshot(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Final || got.Label != "" {
+		t.Fatalf("Final/empty-label round trip: %+v", got)
+	}
+}
+
+// TestSnapshotRejects sweeps the structural rejections.
+func TestSnapshotRejects(t *testing.T) {
+	good := AppendSnapshot(nil, sampleSnapshot())
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"short", func(b []byte) []byte { return b[:10] }, ErrFrame},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrFrame},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }, ErrVersion},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-3] }, ErrFrame},
+		{"trailing junk", func(b []byte) []byte { return append(b, 0) }, ErrFrame},
+		{"string past end", func(b []byte) []byte { b[6] = 0xFF; b[7] = 0xFF; return b }, ErrFrame},
+	}
+	for _, tc := range cases {
+		raw := tc.mutate(append([]byte(nil), good...))
+		if _, err := DecodeSnapshot(raw); !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// Semantic restore guards: quiesce and count-range violations.
+	s := sampleSnapshot()
+	s.Processed = s.Submitted - 1
+	if _, err := DecodeSnapshot(AppendSnapshot(nil, s)); !errors.Is(err, ErrFrame) {
+		t.Errorf("non-quiesced snapshot accepted: %v", err)
+	}
+	s = sampleSnapshot()
+	s.Assigned[1] = int32(s.Sizes[1]) + 1
+	if _, err := DecodeSnapshot(AppendSnapshot(nil, s)); !errors.Is(err, ErrFrame) {
+		t.Errorf("assigned > size accepted: %v", err)
+	}
+}
+
+// TestSnapshotStringBound pins the panic on oversized strings — a
+// programming error, not a wire condition.
+func TestSnapshotStringBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized label did not panic")
+		}
+	}()
+	s := sampleSnapshot()
+	s.Label = strings.Repeat("x", snapMaxStringLen+1)
+	AppendSnapshot(nil, s)
+}

@@ -71,8 +71,9 @@ type Client struct {
 	base        string
 	hc          *http.Client
 	codec       Codec
-	streamAddr  string // host:port of the raw-TCP stream listener, "" = none
-	streamConns int    // TCP connections per verdict stream, 0/1 = one
+	streamAddr  string       // host:port of the raw-TCP stream listener, "" = none
+	streamConns int          // TCP connections per verdict stream, 0/1 = one
+	retry       *RetryPolicy // nil = no retries (WithRetry)
 }
 
 // Option customizes a Client.
@@ -447,7 +448,29 @@ func (in *Instance) Policy() string { return in.policy }
 // JSON from then on. Either way the verdicts and the eventual drained
 // result are bit-for-bit identical — the serve-side decode paths share
 // one policy state.
+//
+// With WithRetry configured, transient failures (transport errors, 429,
+// 5xx) are retried under the policy's backoff and budget; permanent 4xx
+// rejections are returned immediately.
 func (in *Instance) Ingest(ctx context.Context, els []osp.Element) ([]Verdict, error) {
+	if in.c.retry == nil {
+		return in.ingestOnce(ctx, els)
+	}
+	var verdicts []Verdict
+	err := in.c.withRetry(ctx, func(ctx context.Context) error {
+		v, err := in.ingestOnce(ctx, els)
+		verdicts = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return verdicts, nil
+}
+
+// ingestOnce is one ingest attempt: codec negotiation included, retry
+// policy excluded.
+func (in *Instance) ingestOnce(ctx context.Context, els []osp.Element) ([]Verdict, error) {
 	codec := in.c.codec
 	if codec == CodecJSON || (codec == CodecAuto && in.negotiated.Load() == codecJSON) {
 		return in.ingestJSON(ctx, els)
@@ -601,10 +624,14 @@ func decodeVerdictFrame(raw []byte, els []osp.Element) ([]Verdict, error) {
 // Drain closes the stream and returns the final Result — bit-for-bit
 // identical to a serial osp.Run with osp.NewHashRandPr under the
 // instance's seed over the same elements. Idempotent: draining again
-// returns the same Result.
+// returns the same Result — which is also what makes it safe to retry
+// under WithRetry.
 func (in *Instance) Drain(ctx context.Context) (*osp.Result, error) {
 	var resp drainResponse
-	if err := in.c.doJSON(ctx, "POST", "/v1/instances/"+in.id+"/drain", nil, &resp); err != nil {
+	err := in.c.withRetry(ctx, func(ctx context.Context) error {
+		return in.c.doJSON(ctx, "POST", "/v1/instances/"+in.id+"/drain", nil, &resp)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &osp.Result{

@@ -406,7 +406,30 @@ var funcPool = sync.Pool{New: func() any { return new(funcScratch) }}
 // the callback. Over the binary codec the whole round trip reuses
 // pooled buffers; under CodecAuto the same one-time JSON fallback as
 // Ingest applies.
+//
+// With WithRetry configured, attempts buffer their callbacks and fn
+// fires only after an attempt succeeds — each element exactly once, in
+// batch order, no matter how many retries the batch rode through.
 func (in *Instance) IngestFunc(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
+	if in.c.retry == nil {
+		return in.ingestFuncOnce(ctx, els, fn)
+	}
+	buf := verdictBufPool.Get().(*verdictBuf)
+	defer verdictBufPool.Put(buf)
+	err := in.c.withRetry(ctx, func(ctx context.Context) error {
+		buf.reset()
+		return in.ingestFuncOnce(ctx, els, buf.collect)
+	})
+	if err != nil {
+		return err
+	}
+	buf.flush(fn)
+	return nil
+}
+
+// ingestFuncOnce is one callback-shaped ingest attempt: codec
+// negotiation included, retry policy excluded.
+func (in *Instance) ingestFuncOnce(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
 	codec := in.c.codec
 	if codec == CodecJSON || (codec == CodecAuto && in.negotiated.Load() == codecJSON) {
 		return in.ingestFuncJSON(ctx, els, fn)

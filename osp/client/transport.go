@@ -46,15 +46,40 @@ const (
 // in-order connection); after a terminal stream error the connection is
 // closed and the next call re-dials. Call Close when done to release a
 // pinned stream gracefully.
+//
+// With WithRetry configured, a terminal stream error drops the pinned
+// connection and the retry re-dials it — the reconnect path a node
+// failover rides through. Callbacks are buffered per attempt and fire
+// only after an attempt succeeds, so a mid-stream reconnect never
+// delivers a verdict twice and never delivers them out of batch order.
 func (in *Instance) IngestAuto(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
 	if fn == nil {
 		fn = func(int, []osp.SetID) {} // verdicts wanted for their side effect only
 	}
 	in.tmu.Lock()
 	defer in.tmu.Unlock()
+	if in.c.retry == nil {
+		return in.ingestAutoOnce(ctx, els, fn)
+	}
+	buf := verdictBufPool.Get().(*verdictBuf)
+	defer verdictBufPool.Put(buf)
+	err := in.c.withRetry(ctx, func(ctx context.Context) error {
+		buf.reset()
+		return in.ingestAutoOnce(ctx, els, buf.collect)
+	})
+	if err != nil {
+		return err
+	}
+	buf.flush(fn)
+	return nil
+}
+
+// ingestAutoOnce is one transport-negotiated attempt; the caller holds
+// tmu.
+func (in *Instance) ingestAutoOnce(ctx context.Context, els []osp.Element, fn func(i int, admitted []osp.SetID)) error {
 	if in.transport.Load() == transportHTTP || in.c.streamAddr == "" {
 		in.transport.Store(transportHTTP)
-		return in.IngestFunc(ctx, els, fn)
+		return in.ingestFuncOnce(ctx, els, fn)
 	}
 	if in.pinned == nil {
 		st, err := in.OpenStream(ctx)
@@ -66,7 +91,7 @@ func (in *Instance) IngestAuto(ctx context.Context, els []osp.Element, fn func(i
 				// to binary HTTP and stay pinned: one failed dial per
 				// instance, not one per batch.
 				in.transport.Store(transportHTTP)
-				return in.IngestFunc(ctx, els, fn)
+				return in.ingestFuncOnce(ctx, els, fn)
 			}
 			return err
 		}
